@@ -1,0 +1,195 @@
+"""E3 — §2 "Current status": federated-vs-centralized equivalence.
+
+For every algorithm in the paper's list, run it federated over three
+hospitals and compare against the centralized computation on the pooled
+data.  The reproduced table reports the maximum relative deviation per
+algorithm — the paper's implicit claim is that federation changes *where*
+computation happens, not *what* it computes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.core.experiment import ExperimentEngine, ExperimentRequest
+
+from benchmarks.conftest import write_report
+
+DATASETS = ("edsd", "adni", "ppmi")
+
+
+@pytest.fixture(scope="module")
+def engine(bench_federation):
+    return ExperimentEngine(bench_federation, aggregation="plain")
+
+
+@pytest.fixture(scope="module")
+def pooled(bench_federation):
+    def _pooled(*columns):
+        rows = []
+        for worker in bench_federation.workers.values():
+            table = worker.database.get_table("data_dementia")
+            lists = [table.column(c).to_list() for c in columns]
+            rows.extend(r for r in zip(*lists) if None not in r)
+        return rows
+
+    return _pooled
+
+
+def run(engine, algorithm, y, x=(), parameters=None):
+    result = engine.run(
+        ExperimentRequest(
+            algorithm=algorithm, data_model="dementia", datasets=DATASETS,
+            y=tuple(y), x=tuple(x), parameters=parameters or {},
+        )
+    )
+    assert result.status.value == "success", f"{algorithm}: {result.error}"
+    return result.result
+
+
+def relative_error(federated, centralized):
+    federated = np.atleast_1d(np.asarray(federated, dtype=float))
+    centralized = np.atleast_1d(np.asarray(centralized, dtype=float))
+    scale = np.maximum(np.abs(centralized), 1e-9)
+    return float(np.max(np.abs(federated - centralized) / scale))
+
+
+def centralized_references(pooled):
+    """Compute centralized results for each comparable algorithm."""
+    references = {}
+
+    rows = pooled("lefthippocampus", "agevalue")
+    y = np.array([r[0] for r in rows])
+    X = np.column_stack([np.ones(len(y)), [r[1] for r in rows]])
+    references["linear_regression"] = np.linalg.lstsq(X, y, rcond=None)[0]
+
+    rows = pooled("lefthippocampus", "gender")
+    females = [v for v, g in rows if g == "F"]
+    males = [v for v, g in rows if g == "M"]
+    references["ttest_independent"] = scipy.stats.ttest_ind(
+        females, males, equal_var=False
+    ).statistic
+
+    values = [v for (v,) in pooled("p_tau")]
+    references["ttest_onesample"] = scipy.stats.ttest_1samp(values, 50.0).statistic
+
+    rows = pooled("lefthippocampus", "righthippocampus")
+    references["ttest_paired"] = scipy.stats.ttest_rel(
+        [a for a, _ in rows], [b for _, b in rows]
+    ).statistic
+
+    rows = pooled("lefthippocampus", "alzheimerbroadcategory")
+    groups = {}
+    for value, level in rows:
+        groups.setdefault(level, []).append(value)
+    references["anova_oneway"] = scipy.stats.f_oneway(*groups.values()).statistic
+
+    rows = pooled("lefthippocampus", "minimentalstate")
+    references["pearson_correlation"] = scipy.stats.pearsonr(
+        [a for a, _ in rows], [b for _, b in rows]
+    ).statistic
+
+    matrix = np.array(pooled("lefthippocampus", "righthippocampus", "p_tau"), dtype=float)
+    references["pca"] = np.sort(np.linalg.eigvalsh(np.corrcoef(matrix.T)))[::-1]
+
+    rows = pooled("converted_ad", "p_tau", "lefthippocampus")
+    yv = np.array([float(r[0]) for r in rows])
+    X = np.column_stack([np.ones(len(yv)), [r[1] for r in rows], [r[2] for r in rows]])
+    beta = np.zeros(3)
+    for _ in range(40):
+        p = 1 / (1 + np.exp(-(X @ beta)))
+        W = p * (1 - p)
+        beta += np.linalg.solve(X.T @ (X * W[:, None]), X.T @ (yv - p))
+    references["logistic_regression"] = beta
+    return references
+
+
+def federated_results(engine):
+    results = {}
+    results["linear_regression"] = run(
+        engine, "linear_regression", ["lefthippocampus"], ["agevalue"]
+    )["coefficients"]
+    results["ttest_independent"] = run(
+        engine, "ttest_independent", ["lefthippocampus"], ["gender"]
+    )["t_statistic"]
+    results["ttest_onesample"] = run(
+        engine, "ttest_onesample", ["p_tau"], parameters={"mu": 50.0}
+    )["t_statistic"]
+    results["ttest_paired"] = run(
+        engine, "ttest_paired", ["lefthippocampus", "righthippocampus"]
+    )["t_statistic"]
+    results["anova_oneway"] = run(
+        engine, "anova_oneway", ["lefthippocampus"], ["alzheimerbroadcategory"]
+    )["f_statistic"]
+    results["pearson_correlation"] = run(
+        engine, "pearson_correlation", ["lefthippocampus", "minimentalstate"]
+    )["correlations"][0][1]
+    results["pca"] = run(
+        engine, "pca", ["lefthippocampus", "righthippocampus", "p_tau"]
+    )["eigenvalues"]
+    results["logistic_regression"] = run(
+        engine, "logistic_regression", ["converted_ad"], ["p_tau", "lefthippocampus"]
+    )["coefficients"]
+    return results
+
+
+def test_report_equivalence(engine, pooled):
+    references = centralized_references(pooled)
+    federated = federated_results(engine)
+    lines = [
+        "E3 — federated vs centralized equivalence (3 hospitals, plain path)",
+        "",
+        f"{'algorithm':<24}{'max relative error':>22}",
+    ]
+    for name in sorted(references):
+        error = relative_error(federated[name], references[name])
+        lines.append(f"{name:<24}{error:>22.2e}")
+        assert error < 1e-6, f"{name} deviates from centralized: {error}"
+    # the remaining paper algorithms run successfully federated
+    extra = {
+        "anova_twoway": run(engine, "anova_twoway", ["lefthippocampus"],
+                            ["alzheimerbroadcategory", "gender"]),
+        "kmeans": run(engine, "kmeans", ["ab_42", "p_tau"],
+                      parameters={"k": 3, "seed": 1}),
+        "naive_bayes": run(engine, "naive_bayes", ["alzheimerbroadcategory"],
+                           ["lefthippocampus", "gender"]),
+        "naive_bayes_cv": run(engine, "naive_bayes_cv", ["alzheimerbroadcategory"],
+                              ["lefthippocampus", "gender"], {"n_splits": 3}),
+        "cart": run(engine, "cart", ["alzheimerbroadcategory"],
+                    ["lefthippocampus", "p_tau"], {"max_depth": 3}),
+        "id3": run(engine, "id3", ["alzheimerbroadcategory"],
+                   ["gender", "va_etiology"], {"max_depth": 2, "min_gain": 0.0}),
+        "kaplan_meier": run(engine, "kaplan_meier",
+                            ["survival_months", "event_observed"]),
+        "calibration_belt": run(engine, "calibration_belt", ["converted_ad"],
+                                ["predicted_risk"]),
+        "linear_regression_cv": run(engine, "linear_regression_cv",
+                                    ["lefthippocampus"], ["agevalue"],
+                                    {"n_splits": 3}),
+        "logistic_regression_cv": run(engine, "logistic_regression_cv",
+                                      ["converted_ad"], ["p_tau"],
+                                      {"n_splits": 3, "max_iterations": 8}),
+        "descriptive_stats": run(engine, "descriptive_stats", ["p_tau"]),
+    }
+    lines.append("")
+    lines.append(f"additionally executed federated: {', '.join(sorted(extra))}")
+    lines.append(f"total algorithms exercised: {len(references) + len(extra)} (paper: 15+)")
+    write_report("e3_equivalence", lines)
+    assert len(references) + len(extra) >= 15
+
+
+def test_benchmark_linear_regression_federated(benchmark, engine):
+    benchmark.pedantic(
+        run, args=(engine, "linear_regression", ["lefthippocampus"], ["agevalue"]),
+        rounds=5, iterations=1,
+    )
+
+
+def test_benchmark_anova_federated(benchmark, engine):
+    benchmark.pedantic(
+        run, args=(engine, "anova_oneway", ["lefthippocampus"],
+                   ["alzheimerbroadcategory"]),
+        rounds=5, iterations=1,
+    )

@@ -1,0 +1,169 @@
+"""E9 — §2 roadmap ablation: UDF fusion and stateful execution.
+
+The paper's roadmap: "integrating this process with recent research
+advancements to in-engine, performant and stateful Python UDF execution
+using tracing JIT compilation and UDF fusion [1, 9]".  Both are implemented
+(see `repro.udfgen.generator`); this bench quantifies them on a step chain
+with a large intermediate state:
+
+- *naive*       — one application per step, state pickled between steps,
+- *stateful*    — session cache hands the live state object to the next step,
+- *fused*       — the whole chain is one generated UDF; intermediates never
+                  touch SQL at all.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine.database import Database, table_from_arrays
+from repro.udfgen import (
+    FusionStep,
+    StepOutput,
+    generate_fused_application,
+    generate_udf_application,
+    literal,
+    relation,
+    run_udf_application,
+    state,
+    transfer,
+    udf,
+)
+from repro.udfgen.decorators import get_spec
+
+from benchmarks.conftest import write_report
+
+N_ROWS = 40_000
+N_STEPS = 6
+
+_INVOCATION = itertools.count()
+
+
+@udf(data=relation(), return_type=[state()])
+def chain_load(data):
+    return {"matrix": data.to_matrix()}
+
+
+@udf(previous=state(), shift=literal(), return_type=[state()])
+def chain_transform(previous, shift):
+    return {"matrix": previous["matrix"] * 1.0001 + shift}
+
+
+@udf(previous=state(), return_type=[transfer()])
+def chain_reduce(previous):
+    return {"total": float(previous["matrix"].sum())}
+
+
+def make_database() -> Database:
+    rng = np.random.default_rng(3)
+    database = Database()
+    database.register_table(
+        "chain_data",
+        table_from_arrays(
+            ["a", "b", "c"],
+            [rng.normal(size=N_ROWS) for _ in range(3)],
+        ),
+    )
+    return database
+
+
+def run_naive(database: Database) -> float:
+    tag = f"n{next(_INVOCATION)}"
+    app = generate_udf_application(
+        get_spec(chain_load), f"{tag}_0", {"data": "chain_data"}, stateful=False
+    )
+    (current,) = run_udf_application(database, app)
+    for index in range(N_STEPS):
+        app = generate_udf_application(
+            get_spec(chain_transform), f"{tag}_{index + 1}",
+            {"previous": current, "shift": 0.5}, stateful=False,
+        )
+        (current,) = run_udf_application(database, app)
+    app = generate_udf_application(
+        get_spec(chain_reduce), f"{tag}_r", {"previous": current}, stateful=False
+    )
+    (out,) = run_udf_application(database, app)
+    import json
+
+    return json.loads(database.scalar(f"SELECT * FROM {out}"))["total"]
+
+
+def run_stateful(database: Database) -> float:
+    tag = f"s{next(_INVOCATION)}"
+    app = generate_udf_application(get_spec(chain_load), f"{tag}_0", {"data": "chain_data"})
+    (current,) = run_udf_application(database, app)
+    for index in range(N_STEPS):
+        app = generate_udf_application(
+            get_spec(chain_transform), f"{tag}_{index + 1}",
+            {"previous": current, "shift": 0.5},
+        )
+        (current,) = run_udf_application(database, app)
+    app = generate_udf_application(get_spec(chain_reduce), f"{tag}_r", {"previous": current})
+    (out,) = run_udf_application(database, app)
+    import json
+
+    return json.loads(database.scalar(f"SELECT * FROM {out}"))["total"]
+
+
+def run_fused(database: Database) -> float:
+    steps = [FusionStep(get_spec(chain_load), {"data": "chain_data"})]
+    for index in range(N_STEPS):
+        steps.append(
+            FusionStep(
+                get_spec(chain_transform),
+                {"previous": StepOutput(index), "shift": 0.5},
+            )
+        )
+    steps.append(FusionStep(get_spec(chain_reduce), {"previous": StepOutput(N_STEPS)}))
+    app = generate_fused_application(steps, f"f{next(_INVOCATION)}")
+    (out,) = run_udf_application(database, app)
+    import json
+
+    return json.loads(database.scalar(f"SELECT * FROM {out}"))["total"]
+
+
+def test_benchmark_naive_chain(benchmark):
+    benchmark.pedantic(run_naive, args=(make_database(),), rounds=2, iterations=1)
+
+
+def test_benchmark_stateful_chain(benchmark):
+    benchmark.pedantic(run_stateful, args=(make_database(),), rounds=2, iterations=1)
+
+
+def test_benchmark_fused_chain(benchmark):
+    benchmark.pedantic(run_fused, args=(make_database(),), rounds=2, iterations=1)
+
+
+def test_report_fusion_ablation():
+    timings = {}
+    results = {}
+    for label, runner in (
+        ("naive (pickle per step)", run_naive),
+        ("stateful (session cache)", run_stateful),
+        ("fused (single UDF)", run_fused),
+    ):
+        database = make_database()
+        start = time.perf_counter()
+        results[label] = runner(database)
+        timings[label] = time.perf_counter() - start
+    baseline = timings["naive (pickle per step)"]
+    lines = [
+        "E9 — roadmap ablation: stateful execution and UDF fusion",
+        f"({N_STEPS}-step transform chain over a {N_ROWS}x3 matrix state)",
+        "",
+        f"{'variant':<28}{'time (s)':>10}{'speedup':>9}",
+    ]
+    for label, elapsed in timings.items():
+        lines.append(f"{label:<28}{elapsed:>10.4f}{baseline / elapsed:>8.1f}x")
+    lines.append("")
+    lines.append("identical results across variants: "
+                 f"{len(set(round(v, 6) for v in results.values())) == 1}")
+    write_report("e9_fusion", lines)
+    values = list(results.values())
+    assert max(values) - min(values) < 1e-6
+    assert timings["stateful (session cache)"] < baseline
+    assert timings["fused (single UDF)"] <= timings["stateful (session cache)"] * 1.5

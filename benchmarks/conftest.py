@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures and the results reporter.
+
+Every bench regenerates one table/figure of the paper's evaluation story
+(see DESIGN.md §4 and EXPERIMENTS.md).  Reproduced tables are printed and
+written to ``benchmarks/results/`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.data.cohorts import CohortSpec, generate_cohort
+from repro.federation.controller import FederationConfig, create_federation
+
+import repro.algorithms  # noqa: F401
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_report(name: str, lines: list[str]) -> None:
+    """Print a reproduced table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n{text}")
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def bench_federation():
+    """Three hospitals, moderate cohorts; plain transport defaults."""
+    worker_data = {
+        "hospital_a": {"dementia": generate_cohort(CohortSpec("edsd", 500, seed=1))},
+        "hospital_b": {"dementia": generate_cohort(CohortSpec("adni", 400, seed=2))},
+        "hospital_c": {"dementia": generate_cohort(CohortSpec("ppmi", 350, seed=3))},
+    }
+    return create_federation(
+        worker_data, FederationConfig(smpc_nodes=3, smpc_scheme="shamir", seed=11)
+    )

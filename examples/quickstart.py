@@ -1,0 +1,64 @@
+"""Quickstart: stand up a three-hospital federation and run experiments.
+
+Mirrors the MIP dashboard flow (paper Figure 3): browse the data catalogue,
+pick variables and datasets, choose an algorithm, set parameters, run, and
+read the results — except everything is code.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CohortSpec, FederationConfig, MIPService, create_federation, generate_cohort
+
+
+def main() -> None:
+    # --- deployment: each hospital keeps its data on its own node ---------
+    federation = create_federation(
+        {
+            "hospital_a": {"dementia": generate_cohort(CohortSpec("edsd", 500, seed=1))},
+            "hospital_b": {"dementia": generate_cohort(CohortSpec("adni", 400, seed=2))},
+            "hospital_c": {"dementia": generate_cohort(CohortSpec("ppmi", 350, seed=3))},
+        },
+        FederationConfig(smpc_nodes=3, smpc_scheme="shamir", seed=7),
+    )
+    mip = MIPService(federation)  # secure aggregation by default
+
+    # --- the data catalogue ------------------------------------------------
+    print("data models:", mip.data_models())
+    print("datasets   :", mip.datasets("dementia"))
+    print("algorithms :", [a["name"] for a in mip.algorithms()][:8], "...")
+
+    # --- descriptive statistics (the dashboard's first view) ---------------
+    descriptive = mip.run_experiment(
+        "descriptive_stats", "dementia", ["edsd", "adni", "ppmi"],
+        y=["p_tau", "leftententorhinalarea"],
+    )
+    pooled = descriptive.result["pooled"]["p_tau"]
+    print(
+        f"\npooled p_tau: n={pooled['datapoints']} (NA {pooled['na']}), "
+        f"mean={pooled['mean']:.2f} ± {pooled['std']:.2f}, "
+        f"quartiles {pooled['q1']:.1f}/{pooled['q2']:.1f}/{pooled['q3']:.1f}"
+    )
+
+    # --- a model: how does diagnosis relate to hippocampal volume? ---------
+    regression = mip.run_experiment(
+        "linear_regression", "dementia", ["edsd", "adni", "ppmi"],
+        y=["lefthippocampus"],
+        x=["agevalue", "alzheimerbroadcategory"],
+    )
+    print(f"\nlinear regression (n={regression.result['n_observations']}, "
+          f"R^2={regression.result['r_squared']:.3f})")
+    for name, coefficient, p_value in zip(
+        regression.result["variable_names"],
+        regression.result["coefficients"],
+        regression.result["p_values"],
+    ):
+        print(f"  {name:<32} {coefficient:>9.4f}   p={p_value:.2e}")
+
+    # --- every number above left the hospitals as an aggregate only --------
+    stats = federation.transport.stats
+    print(f"\ntransport: {stats.messages} messages, {stats.bytes_sent / 1e6:.2f} MB;")
+    print("raw patient rows moved: none (by construction — see repro.federation.worker)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""A multi-step workflow: explore → compare groups → model → evaluate.
+
+The MIP dashboard's Workflow tab chains analyses; here the chain is code.
+Later steps read earlier results: the model's cohort filter comes from the
+exploration step, and the final report combines every step.
+
+Run:  python examples/workflow_analysis.py
+"""
+
+from repro import CohortSpec, FederationConfig, MIPService, create_federation, generate_cohort
+from repro.api.workflow import Workflow, WorkflowStep
+
+
+def main() -> None:
+    federation = create_federation(
+        {
+            "h1": {"dementia": generate_cohort(CohortSpec("edsd", 400, seed=1))},
+            "h2": {"dementia": generate_cohort(CohortSpec("adni", 400, seed=2))},
+            "h3": {"dementia": generate_cohort(CohortSpec("ppmi", 350, seed=3))},
+        },
+        FederationConfig(smpc_nodes=3, smpc_scheme="shamir", seed=21),
+    )
+    service = MIPService(federation)
+
+    workflow = Workflow([
+        # 1. explore the biomarker
+        WorkflowStep("explore", "descriptive_stats", y=["p_tau", "agevalue"]),
+        # 2. does pTau differ between diagnostic groups? (+ Tukey pairs)
+        WorkflowStep("compare", "anova_oneway",
+                     y=["p_tau"], x=["alzheimerbroadcategory"]),
+        # 3. model conversion in the older half of the caseload — the cutoff
+        #    comes from step 1's pooled median age
+        WorkflowStep(
+            "model", "logistic_regression",
+            y=["converted_ad"], x=["p_tau", "lefthippocampus"],
+            filter_sql=lambda results: (
+                f"agevalue > {results['explore']['pooled']['agevalue']['q2']:.2f}"
+            ),
+        ),
+        # 4. cross-validate the same model on the same cohort slice
+        WorkflowStep(
+            "validate", "logistic_regression_cv",
+            y=["converted_ad"], x=["p_tau", "lefthippocampus"],
+            parameters={"n_splits": 3, "max_iterations": 10},
+            filter_sql=lambda results: (
+                f"agevalue > {results['explore']['pooled']['agevalue']['q2']:.2f}"
+            ),
+        ),
+    ])
+    outcome = workflow.run(service)
+    assert outcome.succeeded, outcome.failed_step
+
+    explore = outcome.result_of("explore")
+    print("step 1 — explore")
+    pooled = explore["pooled"]["p_tau"]
+    print(f"  pTau: n={pooled['datapoints']}, mean={pooled['mean']:.1f}, "
+          f"median age cutoff={explore['pooled']['agevalue']['q2']:.1f}\n")
+
+    compare = outcome.result_of("compare")
+    print("step 2 — compare groups")
+    print(f"  ANOVA F={compare['f_statistic']:.1f}, p={compare['p_value']:.1e}")
+    for pair in compare["pairwise_comparisons"]:
+        a, b = pair["groups"]
+        marker = "*" if pair["significant"] else " "
+        print(f"   {marker} {a} vs {b}: diff={pair['mean_difference']:+.1f} "
+              f"(p_adj={pair['p_adjusted']:.3g})")
+    print()
+
+    model = outcome.result_of("model")
+    print("step 3 — model (older half of the caseload)")
+    print(f"  n={model['n_observations']}, AUC={model['auc']:.3f}")
+    for name, odds in zip(model["variable_names"], model["odds_ratios"]):
+        print(f"   OR[{name}] = {odds:.3f}")
+    print()
+
+    validate = outcome.result_of("validate")
+    print("step 4 — validate")
+    print(f"  3-fold accuracy: {validate['mean_accuracy']:.3f} "
+          f"(F1 {validate['mean_f1']:.3f})")
+
+    status = service.status()
+    print(f"\nplatform status: {sum(1 for s in status['workers'].values() if s == 'up')}"
+          f"/{len(status['workers'])} workers up, "
+          f"{status['experiments']['succeeded']}/{status['experiments']['total']} "
+          "experiments succeeded, "
+          f"SMPC rounds used: {status['smpc']['rounds']}")
+
+
+if __name__ == "__main__":
+    main()

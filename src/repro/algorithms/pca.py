@@ -1,0 +1,92 @@
+"""Federated principal component analysis.
+
+The covariance (or correlation) matrix is assembled from securely aggregated
+first and second moments; the eigendecomposition happens on the master.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.algorithm import FederatedAlgorithm
+from repro.core.registry import register_algorithm
+from repro.core.specs import ParameterSpec
+from repro.errors import AlgorithmError
+from repro.udfgen import literal, relation, secure_transfer, udf
+from repro.udfgen import udf_helpers as _h  # noqa: F401  (UDF bodies use _h)
+
+
+@udf(data=relation(), variables=literal(), return_type=[secure_transfer()])
+def pca_local(data, variables):
+    """First/second moment sums of the selected numeric variables."""
+    matrix = np.column_stack([np.asarray(data[v], dtype=np.float64) for v in variables])
+    return {
+        "n": {"data": int(matrix.shape[0]), "operation": "sum"},
+        "sums": {"data": matrix.sum(axis=0).tolist(), "operation": "sum"},
+        "cross": {"data": (matrix.T @ matrix).tolist(), "operation": "sum"},
+    }
+
+
+@register_algorithm
+class PrincipalComponents(FederatedAlgorithm):
+    """PCA of standardized (or raw-covariance) numeric variables."""
+
+    name = "pca"
+    label = "Principal Components Analysis"
+    needs_y = "required"
+    needs_x = "none"
+    y_types = ("numeric",)
+    parameters = (
+        ParameterSpec("standardize", "bool", label="Use the correlation matrix",
+                      default=True),
+    )
+
+    def run(self) -> dict[str, Any]:
+        variables = list(self.y)
+        if len(variables) < 2:
+            raise AlgorithmError("PCA needs at least two variables")
+        handle = self.local_run(
+            func=pca_local,
+            keyword_args={"data": self.data_view(variables), "variables": variables},
+            share_to_global=[True],
+        )
+        sums = self.ctx.get_transfer_data(handle)
+        n = int(sums["n"])
+        if n < 3:
+            raise AlgorithmError(f"not enough observations for PCA (n={n})")
+        totals = np.asarray(sums["sums"], dtype=np.float64)
+        cross = np.asarray(sums["cross"], dtype=np.float64)
+        means = totals / n
+        covariance = (cross - n * np.outer(means, means)) / (n - 1)
+        stds = np.sqrt(np.clip(np.diag(covariance), 0.0, None))
+        if self.params["standardize"]:
+            if (stds == 0).any():
+                constant = [v for v, s in zip(variables, stds) if s == 0]
+                raise AlgorithmError(f"constant variables cannot be standardized: {constant}")
+            matrix = covariance / np.outer(stds, stds)
+        else:
+            matrix = covariance
+        eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+        order = np.argsort(eigenvalues)[::-1]
+        eigenvalues = np.clip(eigenvalues[order], 0.0, None)
+        eigenvectors = eigenvectors[:, order]
+        # Deterministic sign: make each component's largest loading positive.
+        for j in range(eigenvectors.shape[1]):
+            pivot = np.argmax(np.abs(eigenvectors[:, j]))
+            if eigenvectors[pivot, j] < 0:
+                eigenvectors[:, j] = -eigenvectors[:, j]
+        total_variance = eigenvalues.sum()
+        explained = eigenvalues / total_variance if total_variance > 0 else eigenvalues
+        return {
+            "variables": variables,
+            "n_observations": n,
+            "means": means.tolist(),
+            "stds": stds.tolist(),
+            "eigenvalues": eigenvalues.tolist(),
+            "eigenvectors": eigenvectors.T.tolist(),  # rows = components
+            "explained_variance_ratio": explained.tolist(),
+            "cumulative_explained_variance": np.cumsum(explained).tolist(),
+            "standardized": bool(self.params["standardize"]),
+        }

@@ -1,0 +1,6 @@
+"""The platform service: the programmatic equivalent of the MIP web UI."""
+
+from repro.api.service import MIPService
+from repro.api.workflow import Workflow, WorkflowResult, WorkflowStep
+
+__all__ = ["MIPService", "Workflow", "WorkflowResult", "WorkflowStep"]

@@ -1,0 +1,183 @@
+"""MIPService: the user-facing surface of the platform.
+
+Exposes what the MIP dashboard (paper Figure 3) exposes: the data catalogue
+(data models, variables, datasets and who holds them), the algorithm list
+with parameter specifications, experiment submission, and the experiment
+history.  In deployment this sits behind a Quart REST API; here it is a
+plain facade so examples, tests and benchmarks drive it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.core.experiment import ExperimentEngine, ExperimentRequest, ExperimentResult
+from repro.core.registry import algorithm_registry
+from repro.data.cdes import cde_registry
+from repro.errors import CatalogError
+from repro.federation.controller import Federation
+from repro.smpc.cluster import NoiseSpec
+
+# Algorithms register themselves on import.
+import repro.algorithms  # noqa: F401
+
+
+class MIPService:
+    """One user session against a running federation."""
+
+    def __init__(
+        self,
+        federation: Federation,
+        aggregation: str = "smpc",
+        noise: NoiseSpec | None = None,
+    ) -> None:
+        self.federation = federation
+        self.engine = ExperimentEngine(federation, aggregation=aggregation, noise=noise)
+
+    # --------------------------------------------------------- data catalogue
+
+    def data_models(self) -> list[str]:
+        """Data models that are both catalogued and present on some worker."""
+        available = self.federation.master.availability
+        return sorted(model for model in available if model in cde_registry)
+
+    def datasets(self, data_model: str) -> dict[str, list[str]]:
+        """Dataset codes of a data model and the workers holding each."""
+        availability = self.federation.master.availability
+        if data_model not in availability:
+            raise CatalogError(f"no worker holds data model {data_model!r}")
+        return {code: list(workers) for code, workers in availability[data_model].items()}
+
+    def variables(self, data_model: str) -> list[dict[str, Any]]:
+        """The variable catalogue of a data model (the UI's variable picker)."""
+        model = cde_registry.get(data_model)
+        entries = []
+        for code in model.variables():
+            cde = model.cde(code)
+            entries.append(
+                {
+                    "code": code,
+                    "label": cde.label,
+                    "kind": cde.kind,
+                    "enumerations": list(cde.enumerations),
+                    "min": cde.min_value,
+                    "max": cde.max_value,
+                    "unit": cde.unit,
+                }
+            )
+        return entries
+
+    # ------------------------------------------------------------- algorithms
+
+    def algorithms(self) -> list[dict[str, Any]]:
+        """The "Available Algorithms" panel: names, labels, parameters."""
+        listing = []
+        for entry in algorithm_registry.listing():
+            cls = algorithm_registry.get(entry["name"])
+            listing.append(
+                {
+                    **entry,
+                    "needs_y": cls.needs_y,
+                    "needs_x": cls.needs_x,
+                    "y_types": list(cls.y_types),
+                    "x_types": list(cls.x_types),
+                    "parameters": [
+                        {
+                            "name": spec.name,
+                            "type": spec.param_type,
+                            "label": spec.label,
+                            "required": spec.required,
+                            "default": spec.default,
+                            "min": spec.min_value,
+                            "max": spec.max_value,
+                            "enums": list(spec.enums) if spec.enums else None,
+                        }
+                        for spec in cls.parameters
+                    ],
+                }
+            )
+        return listing
+
+    # ------------------------------------------------------------ experiments
+
+    def run_experiment(
+        self,
+        algorithm: str,
+        data_model: str,
+        datasets: Sequence[str],
+        y: Sequence[str] = (),
+        x: Sequence[str] = (),
+        parameters: Mapping[str, Any] | None = None,
+        filter_sql: str | None = None,
+        name: str = "",
+    ) -> ExperimentResult:
+        """Create and run an experiment (the UI's "Run Experiment" button)."""
+        request = ExperimentRequest(
+            algorithm=algorithm,
+            data_model=data_model,
+            datasets=tuple(datasets),
+            y=tuple(y),
+            x=tuple(x),
+            parameters=dict(parameters or {}),
+            filter_sql=filter_sql,
+            name=name,
+        )
+        return self.engine.run(request)
+
+    def experiment(self, experiment_id: str) -> ExperimentResult:
+        """Poll one experiment ("My Experiments")."""
+        return self.engine.get(experiment_id)
+
+    def experiments(self) -> list[ExperimentResult]:
+        return self.engine.history()
+
+    # ----------------------------------------------------------------- status
+
+    def status(self) -> dict[str, Any]:
+        """Platform health: node liveness, caseload, traffic, SMPC usage."""
+        master = self.federation.master
+        alive = master.alive_workers()
+        availability = master.refresh_catalog()
+        datasets = {
+            model: sorted(codes) for model, codes in availability.items()
+        }
+        caseload = {}
+        for model in availability:
+            total = 0
+            for worker_id in alive:
+                worker = self.federation.workers[worker_id]
+                if model in worker.datasets():
+                    total += worker.database.get_table(f"data_{model}").num_rows
+            caseload[model] = total
+        transport = self.federation.transport.stats
+        payload: dict[str, Any] = {
+            "workers": {
+                worker: ("up" if worker in alive else "down")
+                for worker in self.federation.workers
+            },
+            "data_models": datasets,
+            "caseload_rows": caseload,
+            "aggregation": self.engine.aggregation,
+            "transport": {
+                "messages": transport.messages,
+                "bytes_sent": transport.bytes_sent,
+                "simulated_seconds": round(transport.simulated_seconds, 6),
+            },
+            "experiments": {
+                "total": len(self.engine.history()),
+                "succeeded": sum(
+                    1 for r in self.engine.history() if r.status.value == "success"
+                ),
+            },
+        }
+        cluster = self.federation.smpc_cluster
+        if cluster is not None:
+            payload["smpc"] = {
+                "scheme": cluster.scheme,
+                "nodes": cluster.n_nodes,
+                "rounds": cluster.communication.rounds,
+                "elements": cluster.communication.elements,
+                "offline_triples": cluster.offline_usage.triples,
+                "offline_random_bits": cluster.offline_usage.random_bits,
+            }
+        return payload

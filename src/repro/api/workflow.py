@@ -1,0 +1,114 @@
+"""Workflows: ordered chains of experiments with cross-step references.
+
+The MIP dashboard exposes a *Workflow* tab (paper Figure 3): analyses built
+from several algorithm runs — e.g. descriptive exploration feeding variable
+selection feeding a model.  This module provides the programmatic
+equivalent: a :class:`Workflow` of named steps executed in order, where any
+request field of a later step may be a callable receiving the results of the
+earlier steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.api.service import MIPService
+from repro.core.experiment import ExperimentResult
+from repro.errors import SpecificationError
+
+#: A dynamic field: receives {step_name: result_dict} of all finished steps.
+Dynamic = Callable[[dict[str, dict[str, Any]]], Any]
+
+
+@dataclass(frozen=True)
+class WorkflowStep:
+    """One experiment in a workflow.
+
+    Every field except ``name`` and ``algorithm`` may be either a concrete
+    value or a callable of the earlier steps' results.
+    """
+
+    name: str
+    algorithm: str
+    datasets: Sequence[str] | Dynamic = ()
+    y: Sequence[str] | Dynamic = ()
+    x: Sequence[str] | Dynamic = ()
+    parameters: Mapping[str, Any] | Dynamic = field(default_factory=dict)
+    filter_sql: str | Dynamic | None = None
+
+
+@dataclass
+class WorkflowResult:
+    """Results of a workflow run, in execution order."""
+
+    steps: dict[str, ExperimentResult] = field(default_factory=dict)
+    failed_step: str | None = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.failed_step is None
+
+    def result_of(self, step_name: str) -> dict[str, Any]:
+        experiment = self.steps[step_name]
+        return experiment.result
+
+
+class Workflow:
+    """An ordered, named chain of experiments."""
+
+    def __init__(self, steps: Sequence[WorkflowStep], data_model: str = "dementia") -> None:
+        if not steps:
+            raise SpecificationError("a workflow needs at least one step")
+        names = [step.name for step in steps]
+        if len(set(names)) != len(names):
+            duplicated = sorted({n for n in names if names.count(n) > 1})
+            raise SpecificationError(f"duplicate step names: {duplicated}")
+        self.steps = list(steps)
+        self.data_model = data_model
+
+    def run(self, service: MIPService, stop_on_error: bool = True) -> WorkflowResult:
+        """Execute the steps in order against a service.
+
+        Dynamic fields are resolved against the results of the already
+        finished steps; a failed step stops the workflow (unless
+        ``stop_on_error=False``, which skips to the next step).
+        """
+        outcome = WorkflowResult()
+        finished: dict[str, dict[str, Any]] = {}
+        for step in self.steps:
+            request = {
+                "datasets": _resolve(step.datasets, finished),
+                "y": _resolve(step.y, finished),
+                "x": _resolve(step.x, finished),
+                "parameters": _resolve(step.parameters, finished),
+                "filter_sql": _resolve(step.filter_sql, finished),
+            }
+            datasets = list(request["datasets"]) or sorted(
+                service.datasets(self.data_model)
+            )
+            result = service.run_experiment(
+                algorithm=step.algorithm,
+                data_model=self.data_model,
+                datasets=datasets,
+                y=list(request["y"]),
+                x=list(request["x"]),
+                parameters=dict(request["parameters"] or {}),
+                filter_sql=request["filter_sql"],
+                name=step.name,
+            )
+            outcome.steps[step.name] = result
+            if result.status.value == "success":
+                finished[step.name] = result.result
+            else:
+                if outcome.failed_step is None:
+                    outcome.failed_step = step.name
+                if stop_on_error:
+                    break
+        return outcome
+
+
+def _resolve(value: Any, finished: dict[str, dict[str, Any]]) -> Any:
+    if callable(value):
+        return value(finished)
+    return value

@@ -1,0 +1,190 @@
+"""Command-line interface: drive a simulated federation from the shell.
+
+The CLI stands where the MIP web dashboard stands in deployment — catalogue
+browsing, the algorithm panel, and experiment execution — against either
+synthetic cohorts or CSV exports loaded through the ETL pipeline.
+
+Examples::
+
+    python -m repro catalogue
+    python -m repro algorithms
+    python -m repro run --algorithm pearson_correlation \\
+        -y lefthippocampus -y righthippocampus
+    python -m repro run --algorithm kmeans -y ab_42 -y p_tau \\
+        --param k=3 --param seed=1 --aggregation smpc
+    python -m repro run --algorithm linear_regression \\
+        -y lefthippocampus -x agevalue --csv site_a=export_a.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Sequence
+
+from repro.api.service import MIPService
+from repro.data.cdes import cde_registry
+from repro.data.cohorts import CohortSpec, generate_cohort
+from repro.errors import ReproError
+from repro.etl.harmonize import harmonize_table
+from repro.etl.loader import load_csv
+from repro.federation.controller import FederationConfig, create_federation
+
+DEFAULT_DATASETS = ("edsd", "adni", "ppmi")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the repro CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MIP reproduction: federated medical analytics from the shell.",
+    )
+    subcommands = parser.add_subparsers(dest="command", required=True)
+
+    subcommands.add_parser("catalogue", help="list data models, datasets and variables")
+    subcommands.add_parser("algorithms", help="list algorithms and their parameters")
+
+    run = subcommands.add_parser("run", help="run a federated experiment")
+    run.add_argument("--algorithm", required=True)
+    run.add_argument("--data-model", default="dementia")
+    run.add_argument("--datasets", nargs="*", default=None,
+                     help="dataset codes (default: all available)")
+    run.add_argument("-y", action="append", default=[], metavar="VAR",
+                     help="dependent variable (repeatable)")
+    run.add_argument("-x", action="append", default=[], metavar="VAR",
+                     help="covariate (repeatable)")
+    run.add_argument("--param", action="append", default=[], metavar="NAME=VALUE",
+                     help="algorithm parameter (repeatable)")
+    run.add_argument("--filter", default=None, help="SQL row filter, e.g. \"agevalue > 65\"")
+    run.add_argument("--aggregation", choices=("smpc", "plain"), default="smpc")
+    run.add_argument("--smpc-scheme", choices=("shamir", "full_threshold"),
+                     default="shamir")
+
+    for subparser in (run,):
+        subparser.add_argument("--csv", action="append", default=[],
+                               metavar="WORKER=PATH",
+                               help="load a worker's data from a CSV export "
+                                    "(repeatable); replaces the synthetic cohorts")
+        subparser.add_argument("--rows", type=int, default=300,
+                               help="rows per synthetic cohort (default 300)")
+        subparser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def parse_parameter(text: str) -> tuple[str, Any]:
+    """Parse a NAME=VALUE --param item (values parsed as JSON when possible)."""
+    if "=" not in text:
+        raise SystemExit(f"--param expects NAME=VALUE, got {text!r}")
+    name, raw = text.split("=", 1)
+    try:
+        value: Any = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return name, value
+
+
+def build_service(args: argparse.Namespace) -> MIPService:
+    """Assemble the federation (synthetic cohorts or --csv exports) and service."""
+    if getattr(args, "csv", None):
+        model = cde_registry.get(getattr(args, "data_model", "dementia"))
+        worker_data = {}
+        for item in args.csv:
+            if "=" not in item:
+                raise SystemExit(f"--csv expects WORKER=PATH, got {item!r}")
+            worker, path = item.split("=", 1)
+            table, report = harmonize_table(load_csv(path, model), model)
+            if report.total_nulled:
+                print(f"[etl] {worker}: nulled {report.total_nulled} "
+                      "out-of-contract values", file=sys.stderr)
+            worker_data[worker] = {model.name: table}
+    else:
+        rows = getattr(args, "rows", 300)
+        seed = getattr(args, "seed", 0)
+        worker_data = {
+            f"hospital_{code}": {
+                "dementia": generate_cohort(CohortSpec(code, rows, seed=seed + index))
+            }
+            for index, code in enumerate(DEFAULT_DATASETS)
+        }
+    config = FederationConfig(
+        smpc_scheme=getattr(args, "smpc_scheme", "shamir"),
+        seed=getattr(args, "seed", 0),
+    )
+    federation = create_federation(worker_data, config)
+    return MIPService(federation, aggregation=getattr(args, "aggregation", "smpc"))
+
+
+def command_catalogue(args: argparse.Namespace) -> int:
+    """`repro catalogue`: data models, datasets, variables as JSON."""
+    service = build_service(args)
+    output = {}
+    for model in service.data_models():
+        output[model] = {
+            "datasets": service.datasets(model),
+            "variables": service.variables(model),
+        }
+    print(json.dumps(output, indent=2))
+    return 0
+
+
+def command_algorithms(args: argparse.Namespace) -> int:
+    """`repro algorithms`: the algorithm panel as JSON."""
+    service = build_service(args)
+    print(json.dumps(service.algorithms(), indent=2))
+    return 0
+
+
+def command_run(args: argparse.Namespace) -> int:
+    """`repro run`: execute one experiment; exit 0 on success, 1 on error."""
+    service = build_service(args)
+    datasets = args.datasets
+    if not datasets:
+        datasets = sorted(service.datasets(args.data_model))
+    parameters = dict(parse_parameter(p) for p in args.param)
+    result = service.run_experiment(
+        algorithm=args.algorithm,
+        data_model=args.data_model,
+        datasets=datasets,
+        y=args.y,
+        x=args.x,
+        parameters=parameters,
+        filter_sql=args.filter,
+    )
+    payload = {
+        "experiment_id": result.experiment_id,
+        "status": result.status.value,
+        "workers": list(result.workers),
+        "elapsed_seconds": round(result.elapsed_seconds, 4),
+    }
+    if result.status.value == "success":
+        payload["result"] = result.result
+    else:
+        payload["error"] = result.error
+    print(json.dumps(payload, indent=2))
+    return 0 if result.status.value == "success" else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    # catalogue/algorithms accept the data-source flags too, with defaults.
+    for attribute, default in (("csv", []), ("rows", 300), ("seed", 0),
+                               ("data_model", "dementia")):
+        if not hasattr(args, attribute):
+            setattr(args, attribute, default)
+    handlers = {
+        "catalogue": command_catalogue,
+        "algorithms": command_algorithms,
+        "run": command_run,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

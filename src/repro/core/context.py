@@ -1,0 +1,264 @@
+"""The execution context behind ``local_run`` / ``global_run``.
+
+One :class:`ExecutionContext` exists per experiment.  It knows which workers
+participate (dataset-aware shipping), how to build each worker's data view,
+which aggregation path moves transfers (plain remote/merge or SMPC), and it
+tracks every created table for cleanup.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import AlgorithmError, FederationError
+from repro.core.state import GlobalHandle, LocalHandle
+from repro.federation.master import Master
+from repro.federation.messages import new_job_id
+from repro.smpc.cluster import NoiseSpec
+from repro.udfgen.decorators import get_spec
+from repro.udfgen.iotypes import (
+    LiteralType,
+    MergeTransferType,
+    RelationType,
+    StateType,
+    TensorType,
+    TransferType,
+)
+
+
+@dataclass(frozen=True)
+class DataView:
+    """A declarative slice of the primary data (variables + NA policy).
+
+    The context compiles a view into a per-worker SQL query over that
+    worker's data-model table, restricted to the datasets assigned to the
+    worker by the shipping plan plus any experiment filter.
+    """
+
+    variables: tuple[str, ...]
+    dropna: bool = True
+
+    @classmethod
+    def of(cls, variables: Sequence[str], dropna: bool = True) -> "DataView":
+        return cls(tuple(variables), dropna)
+
+
+class ExecutionContext:
+    """Runtime services available to an algorithm flow."""
+
+    def __init__(
+        self,
+        master: Master,
+        data_model: str,
+        worker_datasets: Mapping[str, Sequence[str]],
+        aggregation: str = "smpc",
+        noise: NoiseSpec | None = None,
+        filter_sql: str | None = None,
+        job_prefix: str | None = None,
+    ) -> None:
+        if aggregation not in ("smpc", "plain"):
+            raise AlgorithmError(f"unknown aggregation path {aggregation!r}")
+        self.master = master
+        self.data_model = data_model
+        self.worker_datasets = {w: list(d) for w, d in worker_datasets.items()}
+        self.workers = sorted(self.worker_datasets)
+        if not self.workers:
+            raise AlgorithmError("no workers selected for execution")
+        self.aggregation = aggregation
+        self.noise = noise
+        self.filter_sql = filter_sql
+        self.job_id = job_prefix or new_job_id("exp")
+        self._step_counter = itertools.count(1)
+        self._broadcasts: dict[tuple[str, str], str] = {}  # (table, worker) -> remote name
+
+    # ------------------------------------------------------------- data views
+
+    def view_query(self, view: DataView, worker: str) -> str:
+        """Compile a DataView into SQL for one worker."""
+        datasets = self.worker_datasets[worker]
+        if not datasets:
+            raise AlgorithmError(f"worker {worker!r} has no assigned datasets")
+        columns = ", ".join(view.variables)
+        table = f"data_{self.data_model}"
+        quoted = ", ".join("'" + code.replace("'", "''") + "'" for code in datasets)
+        conditions = [f"dataset IN ({quoted})"]
+        if view.dropna:
+            conditions.extend(f"{variable} IS NOT NULL" for variable in view.variables)
+        if self.filter_sql:
+            conditions.append(f"({self.filter_sql})")
+        where = " AND ".join(conditions)
+        return f"SELECT {columns} FROM {table} WHERE {where}"
+
+    # -------------------------------------------------------------- local run
+
+    def local_run(
+        self,
+        func: Callable[..., Any],
+        keyword_args: Mapping[str, Any],
+        share_to_global: Sequence[bool],
+    ) -> LocalHandle | tuple[LocalHandle, ...]:
+        """Run one local computation step on every participating worker."""
+        spec = get_spec(func)
+        if len(share_to_global) != len(spec.outputs):
+            raise AlgorithmError(
+                f"share_to_global has {len(share_to_global)} flags for "
+                f"{len(spec.outputs)} outputs of {spec.name!r}"
+            )
+        step_id = f"{self.job_id}_s{next(self._step_counter)}"
+        per_worker: dict[str, dict[str, Any]] = {}
+        for worker in self.workers:
+            arguments: dict[str, Any] = {}
+            for pname, value in keyword_args.items():
+                arguments[pname] = self._bind_local_argument(spec, pname, value, worker, step_id)
+            per_worker[worker] = arguments
+        results = self.master.run_local_step(step_id, spec.name, per_worker)
+        handles: list[LocalHandle] = []
+        for index, iotype in enumerate(spec.outputs):
+            tables = {worker: results[worker][index]["table"] for worker in self.workers}
+            kind = results[self.workers[0]][index]["kind"]
+            shared = bool(share_to_global[index])
+            if shared and kind not in ("transfer", "secure_transfer"):
+                raise AlgorithmError(
+                    f"output {index} of {spec.name!r} is {kind!r}; only transfers "
+                    "can be shared to the global node"
+                )
+            handles.append(LocalHandle(kind, tables, shared))
+        return handles[0] if len(handles) == 1 else tuple(handles)
+
+    def _bind_local_argument(
+        self, spec, pname: str, value: Any, worker: str, step_id: str
+    ) -> dict[str, Any]:
+        iotype = spec.input_type(pname)
+        if isinstance(value, DataView):
+            if not isinstance(iotype, RelationType):
+                raise AlgorithmError(f"parameter {pname!r}: data views bind to relations only")
+            return {"kind": "view", "query": self.view_query(value, worker)}
+        if isinstance(value, LocalHandle):
+            if worker not in value.tables:
+                raise AlgorithmError(
+                    f"parameter {pname!r}: no local table for worker {worker!r}"
+                )
+            return {"kind": "table", "name": value.tables[worker]}
+        if isinstance(value, GlobalHandle):
+            if value.kind != "transfer":
+                raise AlgorithmError(
+                    f"parameter {pname!r}: only global transfers can be broadcast, "
+                    f"got {value.kind!r}"
+                )
+            table = self._broadcast(value, worker, step_id)
+            return {"kind": "table", "name": table}
+        if isinstance(iotype, LiteralType):
+            return {"kind": "literal", "value": value}
+        raise AlgorithmError(
+            f"parameter {pname!r}: cannot bind a {type(value).__name__} to "
+            f"{type(iotype).__name__}"
+        )
+
+    def _broadcast(self, handle: GlobalHandle, worker: str, step_id: str) -> str:
+        key = (handle.table, worker)
+        if key not in self._broadcasts:
+            placed = self.master.broadcast_transfer(self.job_id, handle.table, [worker])
+            self._broadcasts[key] = placed[worker]
+        return self._broadcasts[key]
+
+    # ------------------------------------------------------------- global run
+
+    def global_run(
+        self,
+        func: Callable[..., Any],
+        keyword_args: Mapping[str, Any],
+        share_to_locals: Sequence[bool],
+    ) -> GlobalHandle | tuple[GlobalHandle, ...]:
+        """Run one global step on the master, aggregating local transfers."""
+        spec = get_spec(func)
+        if len(share_to_locals) != len(spec.outputs):
+            raise AlgorithmError(
+                f"share_to_locals has {len(share_to_locals)} flags for "
+                f"{len(spec.outputs)} outputs of {spec.name!r}"
+            )
+        step_id = f"{self.job_id}_s{next(self._step_counter)}"
+        arguments: dict[str, Any] = {}
+        for pname, value in keyword_args.items():
+            arguments[pname] = self._bind_global_argument(spec, pname, value, step_id)
+        results = self.master.run_global_step(step_id, spec.name, arguments)
+        handles = [
+            GlobalHandle(result["kind"], result["table"], bool(flag))
+            for result, flag in zip(results, share_to_locals)
+        ]
+        return handles[0] if len(handles) == 1 else tuple(handles)
+
+    def _bind_global_argument(self, spec, pname: str, value: Any, step_id: str) -> Any:
+        iotype = spec.input_type(pname)
+        if isinstance(value, LocalHandle):
+            if not value.shared_to_global:
+                raise AlgorithmError(
+                    f"parameter {pname!r}: local output was not shared to global"
+                )
+            return self._aggregate_local(value, iotype, step_id, pname)
+        if isinstance(value, GlobalHandle):
+            return value.table
+        if isinstance(iotype, LiteralType):
+            return value
+        raise AlgorithmError(
+            f"parameter {pname!r}: cannot bind a {type(value).__name__} to "
+            f"{type(iotype).__name__}"
+        )
+
+    def _aggregate_local(self, handle: LocalHandle, iotype, step_id: str, pname: str):
+        if handle.kind == "secure_transfer":
+            if not isinstance(iotype, TransferType):
+                raise AlgorithmError(
+                    f"parameter {pname!r}: aggregated input binds to transfer()"
+                )
+            aggregated = self._aggregate_secure_payloads(handle, f"{step_id}_{pname}")
+            return self.master.store_global_transfer(step_id, aggregated)
+        if handle.kind == "transfer":
+            transfers = self.master.gather_transfers_plain(step_id, dict(handle.tables))
+            if isinstance(iotype, MergeTransferType):
+                return [
+                    self.master.store_global_transfer(step_id, transfer)
+                    for transfer in transfers
+                ]
+            raise AlgorithmError(
+                f"parameter {pname!r}: plain transfers bind to merge_transfer()"
+            )
+        raise AlgorithmError(
+            f"parameter {pname!r}: cannot aggregate a {handle.kind!r} output"
+        )
+
+    def _aggregate_secure_payloads(self, handle: LocalHandle, job_id: str) -> dict[str, Any]:
+        """Aggregate secure-transfer outputs along the configured path.
+
+        SMPC: the cluster imports shares and aggregates under the protocol.
+        Plain: the paper's non-secure alternative — the transfers travel
+        through remote/merge tables and the master aggregates in the clear.
+        """
+        if self.aggregation == "smpc":
+            return self.master.gather_transfers_secure(
+                job_id, dict(handle.tables), noise=self.noise
+            )
+        from repro.federation.aggregation import aggregate_plain
+
+        transfers = self.master.gather_transfers_plain(job_id, dict(handle.tables))
+        return aggregate_plain(transfers)
+
+    # ------------------------------------------------------------- transfers
+
+    def get_transfer_data(self, handle: GlobalHandle | LocalHandle) -> Any:
+        """Read transfer contents on the master (the Figure 2 final read)."""
+        if isinstance(handle, GlobalHandle):
+            return self.master.read_transfer(handle.table)
+        if isinstance(handle, LocalHandle):
+            if handle.kind == "secure_transfer":
+                step_id = f"{self.job_id}_read{next(self._step_counter)}"
+                return self._aggregate_secure_payloads(handle, step_id)
+            if handle.kind == "transfer":
+                step_id = f"{self.job_id}_read{next(self._step_counter)}"
+                return self.master.gather_transfers_plain(step_id, dict(handle.tables))
+            raise AlgorithmError(f"cannot read a {handle.kind!r} output")
+        raise AlgorithmError(f"not a handle: {type(handle).__name__}")
+
+    def cleanup(self) -> None:
+        self.master.cleanup(self.job_id, self.workers)

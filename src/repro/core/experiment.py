@@ -1,0 +1,205 @@
+"""Experiment lifecycle: request, execution, result.
+
+Mirrors the UI flow in paper Figure 3: pick variables, datasets and an
+algorithm, set parameters, run, and poll the experiment until it finishes.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.core.context import ExecutionContext
+from repro.core.registry import algorithm_registry
+from repro.core.specs import validate_parameters
+from repro.errors import AlgorithmError, ReproError, SpecificationError
+from repro.federation.controller import Federation
+from repro.federation.messages import new_job_id
+from repro.federation.scheduler import plan_shipping
+from repro.smpc.cluster import NoiseSpec
+
+
+class ExperimentStatus(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCESS = "success"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class ExperimentRequest:
+    """Everything the UI collects before hitting "Run Experiment"."""
+
+    algorithm: str
+    data_model: str
+    datasets: tuple[str, ...]
+    y: tuple[str, ...] = ()
+    x: tuple[str, ...] = ()
+    parameters: Mapping[str, Any] = field(default_factory=dict)
+    filter_sql: str | None = None
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class ExperimentTelemetry:
+    """Resource usage attributable to one experiment."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    simulated_network_seconds: float = 0.0
+    smpc_rounds: int = 0
+    smpc_elements: int = 0
+
+
+@dataclass
+class ExperimentResult:
+    """A finished (or failed) experiment."""
+
+    experiment_id: str
+    request: ExperimentRequest
+    status: ExperimentStatus
+    result: dict[str, Any] = field(default_factory=dict)
+    error: str | None = None
+    elapsed_seconds: float = 0.0
+    workers: tuple[str, ...] = ()
+    telemetry: ExperimentTelemetry = field(default_factory=ExperimentTelemetry)
+
+
+class ExperimentEngine:
+    """Runs experiments against a federation.
+
+    ``aggregation`` selects the paper's two data-aggregation paths:
+    ``"smpc"`` (secure, default) or ``"plain"`` (remote/merge tables).
+    """
+
+    def __init__(
+        self,
+        federation: Federation,
+        aggregation: str = "smpc",
+        noise: NoiseSpec | None = None,
+    ) -> None:
+        self.federation = federation
+        self.aggregation = aggregation
+        self.noise = noise
+        self._history: dict[str, ExperimentResult] = {}
+
+    # ------------------------------------------------------------------- run
+
+    def run(self, request: ExperimentRequest) -> ExperimentResult:
+        experiment_id = new_job_id("exp")
+        started = time.perf_counter()
+        workers: tuple[str, ...] = ()
+        usage_before = self._usage_snapshot()
+        try:
+            algorithm_cls = algorithm_registry.get(request.algorithm)
+            parameters = validate_parameters(algorithm_cls.parameters, request.parameters)
+            self._check_variables(algorithm_cls, request)
+            metadata = self._variable_metadata(algorithm_cls, request)
+            context = self._build_context(request, experiment_id)
+            workers = tuple(context.workers)
+            algorithm = algorithm_cls(
+                context,
+                y=list(request.y),
+                x=list(request.x),
+                parameters=parameters,
+                metadata=metadata,
+            )
+            result_data = algorithm.run()
+            context.cleanup()
+            result = ExperimentResult(
+                experiment_id=experiment_id,
+                request=request,
+                status=ExperimentStatus.SUCCESS,
+                result=result_data,
+                elapsed_seconds=time.perf_counter() - started,
+                workers=workers,
+                telemetry=self._usage_delta(usage_before),
+            )
+        except ReproError as exc:
+            result = ExperimentResult(
+                experiment_id=experiment_id,
+                request=request,
+                status=ExperimentStatus.ERROR,
+                error=f"{type(exc).__name__}: {exc}",
+                elapsed_seconds=time.perf_counter() - started,
+                workers=workers,
+                telemetry=self._usage_delta(usage_before),
+            )
+        self._history[experiment_id] = result
+        return result
+
+    def _usage_snapshot(self) -> tuple[int, int, float, int, int]:
+        stats = self.federation.transport.stats
+        cluster = self.federation.smpc_cluster
+        rounds = cluster.communication.rounds if cluster else 0
+        elements = cluster.communication.elements if cluster else 0
+        return (stats.messages, stats.bytes_sent, stats.simulated_seconds,
+                rounds, elements)
+
+    def _usage_delta(self, before: tuple[int, int, float, int, int]) -> ExperimentTelemetry:
+        after = self._usage_snapshot()
+        return ExperimentTelemetry(
+            messages=after[0] - before[0],
+            bytes_sent=after[1] - before[1],
+            simulated_network_seconds=after[2] - before[2],
+            smpc_rounds=after[3] - before[3],
+            smpc_elements=after[4] - before[4],
+        )
+
+    def get(self, experiment_id: str) -> ExperimentResult:
+        try:
+            return self._history[experiment_id]
+        except KeyError:
+            raise AlgorithmError(f"no such experiment: {experiment_id!r}") from None
+
+    def history(self) -> list[ExperimentResult]:
+        return list(self._history.values())
+
+    # --------------------------------------------------------------- helpers
+
+    def _check_variables(self, algorithm_cls, request: ExperimentRequest) -> None:
+        if algorithm_cls.needs_y == "required" and not request.y:
+            raise SpecificationError(
+                f"algorithm {request.algorithm!r} requires dependent variables (y)"
+            )
+        if algorithm_cls.needs_x == "required" and not request.x:
+            raise SpecificationError(
+                f"algorithm {request.algorithm!r} requires covariates (x)"
+            )
+        if algorithm_cls.needs_y == "none" and request.y:
+            raise SpecificationError(f"algorithm {request.algorithm!r} takes no y variables")
+        if algorithm_cls.needs_x == "none" and request.x:
+            raise SpecificationError(f"algorithm {request.algorithm!r} takes no x variables")
+        if not request.datasets:
+            raise SpecificationError("an experiment needs at least one dataset")
+
+    def _variable_metadata(self, algorithm_cls, request: ExperimentRequest) -> dict[str, Any]:
+        """Validate variables against the data model's CDEs; return metadata."""
+        from repro.data.cdes import cde_registry
+
+        if request.data_model not in cde_registry:
+            # Unregistered data models are allowed (e.g. ad-hoc test data);
+            # algorithms then receive no metadata and treat all variables as
+            # numeric.
+            return {}
+        model = cde_registry.get(request.data_model)
+        model.validate_variables(request.y, algorithm_cls.y_types)
+        model.validate_variables(request.x, algorithm_cls.x_types)
+        return model.metadata_for(list(request.y) + list(request.x))
+
+    def _build_context(self, request: ExperimentRequest, experiment_id: str) -> ExecutionContext:
+        master = self.federation.master
+        master.refresh_catalog()
+        model_availability = master.availability.get(request.data_model, {})
+        plan = plan_shipping(model_availability, request.datasets)
+        return ExecutionContext(
+            master=master,
+            data_model=request.data_model,
+            worker_datasets=plan.assignments,
+            aggregation=self.aggregation,
+            noise=self.noise,
+            filter_sql=request.filter_sql,
+            job_prefix=experiment_id,
+        )

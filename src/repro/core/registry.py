@@ -1,0 +1,50 @@
+"""Registry of available algorithms (the UI's "Available Algorithms" panel)."""
+
+from __future__ import annotations
+
+from typing import Type
+
+from repro.core.algorithm import FederatedAlgorithm
+from repro.errors import AlgorithmError
+
+
+class AlgorithmRegistry:
+    """Name -> algorithm class, with UI-facing listings."""
+
+    def __init__(self) -> None:
+        self._algorithms: dict[str, Type[FederatedAlgorithm]] = {}
+
+    def register(self, cls: Type[FederatedAlgorithm]) -> None:
+        if not cls.name:
+            raise AlgorithmError(f"{cls.__name__} has no registry name")
+        if cls.name in self._algorithms:
+            raise AlgorithmError(f"algorithm {cls.name!r} is already registered")
+        self._algorithms[cls.name] = cls
+
+    def get(self, name: str) -> Type[FederatedAlgorithm]:
+        cls = self._algorithms.get(name)
+        if cls is None:
+            raise AlgorithmError(f"no such algorithm: {name!r}")
+        return cls
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._algorithms
+
+    def names(self) -> list[str]:
+        return sorted(self._algorithms)
+
+    def listing(self) -> list[dict[str, str]]:
+        """Name + label pairs, as the dashboard's algorithm panel shows."""
+        return [
+            {"name": name, "label": self._algorithms[name].label or name}
+            for name in self.names()
+        ]
+
+
+algorithm_registry = AlgorithmRegistry()
+
+
+def register_algorithm(cls: Type[FederatedAlgorithm]) -> Type[FederatedAlgorithm]:
+    """Class decorator adding an algorithm to the global registry."""
+    algorithm_registry.register(cls)
+    return cls

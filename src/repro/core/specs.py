@@ -1,0 +1,86 @@
+"""Algorithm specifications: typed, validated experiment parameters.
+
+Block (c) of the paper's federated-algorithm model: "the algorithm
+specifications involving implementation details".  Each algorithm declares
+its parameters; the platform validates user input against the declaration
+before anything ships to a worker — the MIP UI renders these same
+declarations as the parameter form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.errors import SpecificationError
+
+_TYPES = {"int", "real", "text", "bool"}
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """One declared algorithm parameter."""
+
+    name: str
+    param_type: str  # 'int' | 'real' | 'text' | 'bool'
+    label: str = ""
+    required: bool = False
+    default: Any = None
+    min_value: float | None = None
+    max_value: float | None = None
+    enums: tuple[Any, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.param_type not in _TYPES:
+            raise SpecificationError(f"unknown parameter type {self.param_type!r}")
+
+    def validate(self, value: Any) -> Any:
+        if value is None:
+            if self.required:
+                raise SpecificationError(f"parameter {self.name!r} is required")
+            return self.default
+        value = self._coerce(value)
+        if self.min_value is not None and value < self.min_value:
+            raise SpecificationError(
+                f"parameter {self.name!r}: {value} below minimum {self.min_value}"
+            )
+        if self.max_value is not None and value > self.max_value:
+            raise SpecificationError(
+                f"parameter {self.name!r}: {value} above maximum {self.max_value}"
+            )
+        if self.enums is not None and value not in self.enums:
+            raise SpecificationError(
+                f"parameter {self.name!r}: {value!r} not in {list(self.enums)}"
+            )
+        return value
+
+    def _coerce(self, value: Any) -> Any:
+        if self.param_type == "int":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SpecificationError(f"parameter {self.name!r} must be an integer")
+            if isinstance(value, float) and not value.is_integer():
+                raise SpecificationError(f"parameter {self.name!r} must be an integer")
+            return int(value)
+        if self.param_type == "real":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SpecificationError(f"parameter {self.name!r} must be a number")
+            return float(value)
+        if self.param_type == "text":
+            if not isinstance(value, str):
+                raise SpecificationError(f"parameter {self.name!r} must be a string")
+            return value
+        if not isinstance(value, bool):
+            raise SpecificationError(f"parameter {self.name!r} must be a boolean")
+        return value
+
+
+def validate_parameters(
+    specs: Sequence[ParameterSpec], provided: Mapping[str, Any] | None
+) -> dict[str, Any]:
+    """Validate user parameters against declarations, filling defaults."""
+    provided = dict(provided or {})
+    known = {spec.name for spec in specs}
+    unknown = sorted(set(provided) - known)
+    if unknown:
+        raise SpecificationError(f"unknown parameters: {unknown}")
+    return {spec.name: spec.validate(provided.get(spec.name)) for spec in specs}

@@ -1,0 +1,39 @@
+"""Handles to step results: pointers, not data.
+
+"The result of a local computation is kept as a pointer to the actual data"
+(paper §2).  A :class:`LocalHandle` names one logical output across all
+participating workers; a :class:`GlobalHandle` names one output on the
+master.  Handles flow between ``local_run`` and ``global_run`` calls; the
+execution context decides, from the handle's kind, whether and how bytes
+actually move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class LocalHandle:
+    """One logical local-step output: a table per worker."""
+
+    kind: str  # 'state' | 'transfer' | 'secure_transfer' | 'relation' | 'tensor'
+    tables: Mapping[str, str]  # worker id -> table name on that worker
+    shared_to_global: bool = False
+
+    @property
+    def workers(self) -> list[str]:
+        return sorted(self.tables)
+
+    def table_on(self, worker: str) -> str:
+        return self.tables[worker]
+
+
+@dataclass(frozen=True)
+class GlobalHandle:
+    """One global-step output: a table on the master."""
+
+    kind: str
+    table: str
+    shared_to_locals: bool = False

@@ -1,0 +1,38 @@
+"""Data models, Common Data Elements, and synthetic cohort generators.
+
+The paper's hospitals hold harmonized medical data described by Common Data
+Elements (CDEs) — the dementia data model with regional brain volumes,
+CSF biomarkers (Abeta42, pTau), diagnosis and demographics.  Real patient
+data is obviously unavailable; :mod:`repro.data.cohorts` generates synthetic
+cohorts whose marginal statistics follow the dashboard figures in the paper
+(Figure 3) and whose joint structure carries the signals the Alzheimer's use
+case analyzes (volume/diagnosis association, biomarker clusters).
+"""
+
+from repro.data.cdes import (
+    CommonDataElement,
+    DataModel,
+    cde_registry,
+    dementia_data_model,
+    epilepsy_data_model,
+)
+from repro.data.cohorts import (
+    CohortSpec,
+    alzheimers_use_case_cohorts,
+    generate_cohort,
+    generate_epilepsy_cohort,
+    generate_synthetic_hospital,
+)
+
+__all__ = [
+    "CohortSpec",
+    "CommonDataElement",
+    "DataModel",
+    "alzheimers_use_case_cohorts",
+    "cde_registry",
+    "dementia_data_model",
+    "epilepsy_data_model",
+    "generate_cohort",
+    "generate_epilepsy_cohort",
+    "generate_synthetic_hospital",
+]

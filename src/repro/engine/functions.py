@@ -1,0 +1,178 @@
+"""Built-in scalar and aggregate functions, all vectorized over numpy."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.engine.column import Column
+from repro.engine.types import SQLType, common_type, is_numeric
+from repro.errors import ExecutionError, TypeMismatchError
+
+
+def _numeric_unary(name: str, func: Callable[[np.ndarray], np.ndarray],
+                   result_type: SQLType | None = None) -> Callable[[list[Column]], Column]:
+    def apply(args: list[Column]) -> Column:
+        (col,) = _expect_args(name, args, 1)
+        if not is_numeric(col.sql_type):
+            raise TypeMismatchError(f"{name} requires a numeric argument")
+        out_type = result_type or SQLType.REAL
+        with np.errstate(all="ignore"):
+            values = func(col.values.astype(np.float64))
+        nulls = col.nulls | ~np.isfinite(values)
+        safe = np.where(np.isfinite(values), values, 0.0)
+        if out_type == SQLType.INT:
+            return Column(SQLType.INT, safe.astype(np.int64), nulls)
+        return Column(SQLType.REAL, safe, nulls)
+
+    return apply
+
+
+def _expect_args(name: str, args: list[Column], count: int) -> list[Column]:
+    if len(args) != count:
+        raise ExecutionError(f"{name} takes {count} argument(s), got {len(args)}")
+    return args
+
+
+def _abs(args: list[Column]) -> Column:
+    (col,) = _expect_args("ABS", args, 1)
+    if not is_numeric(col.sql_type):
+        raise TypeMismatchError("ABS requires a numeric argument")
+    return Column(col.sql_type, np.abs(col.values), col.nulls.copy())
+
+
+def _power(args: list[Column]) -> Column:
+    base, exponent = _expect_args("POWER", args, 2)
+    if not (is_numeric(base.sql_type) and is_numeric(exponent.sql_type)):
+        raise TypeMismatchError("POWER requires numeric arguments")
+    with np.errstate(all="ignore"):
+        values = np.power(base.values.astype(np.float64), exponent.values.astype(np.float64))
+    nulls = base.nulls | exponent.nulls | ~np.isfinite(values)
+    return Column(SQLType.REAL, np.where(np.isfinite(values), values, 0.0), nulls)
+
+
+def _coalesce(args: list[Column]) -> Column:
+    if not args:
+        raise ExecutionError("COALESCE requires at least one argument")
+    out_type = args[0].sql_type
+    for col in args[1:]:
+        out_type = common_type(out_type, col.sql_type)
+    result = args[0].cast(out_type)
+    values = result.values.copy()
+    nulls = result.nulls.copy()
+    for col in args[1:]:
+        cast = col.cast(out_type)
+        fill = nulls & ~cast.nulls
+        values[fill] = cast.values[fill]
+        nulls = nulls & cast.nulls
+    return Column(out_type, values, nulls)
+
+
+def _string_unary(name: str, func: Callable[[str], str]) -> Callable[[list[Column]], Column]:
+    def apply(args: list[Column]) -> Column:
+        (col,) = _expect_args(name, args, 1)
+        if col.sql_type != SQLType.VARCHAR:
+            raise TypeMismatchError(f"{name} requires a VARCHAR argument")
+        values = np.array(
+            [func(v) if not n else "" for v, n in zip(col.values, col.nulls)], dtype=object
+        )
+        return Column(SQLType.VARCHAR, values, col.nulls.copy())
+
+    return apply
+
+
+def _length(args: list[Column]) -> Column:
+    (col,) = _expect_args("LENGTH", args, 1)
+    if col.sql_type != SQLType.VARCHAR:
+        raise TypeMismatchError("LENGTH requires a VARCHAR argument")
+    values = np.array([len(v) if not n else 0 for v, n in zip(col.values, col.nulls)],
+                      dtype=np.int64)
+    return Column(SQLType.INT, values, col.nulls.copy())
+
+
+SCALAR_FUNCTIONS: dict[str, Callable[[list[Column]], Column]] = {
+    "ABS": _abs,
+    "SQRT": _numeric_unary("SQRT", np.sqrt),
+    "LN": _numeric_unary("LN", np.log),
+    "LOG": _numeric_unary("LOG", np.log),
+    "LOG10": _numeric_unary("LOG10", np.log10),
+    "EXP": _numeric_unary("EXP", np.exp),
+    "FLOOR": _numeric_unary("FLOOR", np.floor, SQLType.INT),
+    "CEIL": _numeric_unary("CEIL", np.ceil, SQLType.INT),
+    "CEILING": _numeric_unary("CEILING", np.ceil, SQLType.INT),
+    "ROUND": _numeric_unary("ROUND", np.round),
+    "SIGN": _numeric_unary("SIGN", np.sign),
+    "POWER": _power,
+    "POW": _power,
+    "COALESCE": _coalesce,
+    "LOWER": _string_unary("LOWER", str.lower),
+    "UPPER": _string_unary("UPPER", str.upper),
+    "TRIM": _string_unary("TRIM", str.strip),
+    "LENGTH": _length,
+}
+
+
+# ------------------------------------------------------------------ aggregates
+
+
+def aggregate(name: str, column: Column | None, row_count: int, distinct: bool = False):
+    """Compute one aggregate over a column (or COUNT(*) when column is None).
+
+    NULLs are ignored, matching SQL semantics; aggregates over zero non-NULL
+    rows yield NULL (except COUNT, which yields 0).
+    """
+    if name == "COUNT":
+        if column is None:
+            return row_count
+        if distinct:
+            return len({v for v, n in zip(column.values, column.nulls) if not n})
+        return int((~column.nulls).sum())
+    if column is None:
+        raise ExecutionError(f"{name} requires an argument")
+    values = column.non_null()
+    if distinct:
+        values = np.unique(values)
+    if len(values) == 0:
+        return None
+    if name == "SUM":
+        total = values.sum()
+        return int(total) if column.sql_type == SQLType.INT else float(total)
+    if name == "AVG":
+        return float(np.mean(values.astype(np.float64)))
+    if name == "MIN":
+        result = values.min()
+        return _narrow(result, column.sql_type)
+    if name == "MAX":
+        result = values.max()
+        return _narrow(result, column.sql_type)
+    if name == "STDDEV_SAMP":
+        if len(values) < 2:
+            return None
+        return float(np.std(values.astype(np.float64), ddof=1))
+    if name == "VAR_SAMP":
+        if len(values) < 2:
+            return None
+        return float(np.var(values.astype(np.float64), ddof=1))
+    raise ExecutionError(f"unknown aggregate: {name}")
+
+
+def aggregate_result_type(name: str, argument_type: SQLType | None) -> SQLType:
+    """The SQL result type of an aggregate call."""
+    if name == "COUNT":
+        return SQLType.INT
+    if argument_type is None:
+        raise ExecutionError(f"{name} requires an argument")
+    if name in ("MIN", "MAX", "SUM"):
+        return argument_type
+    return SQLType.REAL
+
+
+def _narrow(value, sql_type: SQLType):
+    if sql_type == SQLType.INT:
+        return int(value)
+    if sql_type == SQLType.REAL:
+        return float(value)
+    if sql_type == SQLType.BOOL:
+        return bool(value)
+    return value

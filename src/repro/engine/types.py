@@ -1,0 +1,123 @@
+"""SQL type system for the columnar engine.
+
+Types map onto numpy dtypes.  NULLs are tracked in a separate boolean mask on
+each column rather than with sentinel values, which keeps arithmetic honest
+for integer columns.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+import numpy as np
+
+from repro.errors import TypeMismatchError
+
+
+class SQLType(enum.Enum):
+    """The SQL column types supported by the engine."""
+
+    INT = "INT"
+    REAL = "REAL"
+    VARCHAR = "VARCHAR"
+    BOOL = "BOOL"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return _NUMPY_DTYPES[self]
+
+    @classmethod
+    def from_name(cls, name: str) -> "SQLType":
+        """Resolve a SQL type name (including common aliases) to a SQLType."""
+        key = name.strip().upper()
+        if key in _TYPE_ALIASES:
+            return _TYPE_ALIASES[key]
+        raise TypeMismatchError(f"unknown SQL type: {name!r}")
+
+    @classmethod
+    def of_value(cls, value: Any) -> "SQLType":
+        """Infer the SQL type of a Python scalar."""
+        if isinstance(value, bool) or isinstance(value, np.bool_):
+            return cls.BOOL
+        if isinstance(value, (int, np.integer)):
+            return cls.INT
+        if isinstance(value, (float, np.floating)):
+            return cls.REAL
+        if isinstance(value, str):
+            return cls.VARCHAR
+        raise TypeMismatchError(f"cannot infer SQL type of {value!r}")
+
+
+_NUMPY_DTYPES = {
+    SQLType.INT: np.dtype(np.int64),
+    SQLType.REAL: np.dtype(np.float64),
+    SQLType.VARCHAR: np.dtype(object),
+    SQLType.BOOL: np.dtype(np.bool_),
+}
+
+_TYPE_ALIASES = {
+    "INT": SQLType.INT,
+    "INTEGER": SQLType.INT,
+    "BIGINT": SQLType.INT,
+    "SMALLINT": SQLType.INT,
+    "REAL": SQLType.REAL,
+    "FLOAT": SQLType.REAL,
+    "DOUBLE": SQLType.REAL,
+    "DOUBLE PRECISION": SQLType.REAL,
+    "VARCHAR": SQLType.VARCHAR,
+    "TEXT": SQLType.VARCHAR,
+    "STRING": SQLType.VARCHAR,
+    "CHAR": SQLType.VARCHAR,
+    "BOOL": SQLType.BOOL,
+    "BOOLEAN": SQLType.BOOL,
+}
+
+#: Implicit widening: INT -> REAL is the only numeric coercion the engine does.
+_NUMERIC = (SQLType.INT, SQLType.REAL)
+
+
+def is_numeric(sql_type: SQLType) -> bool:
+    """Return True for types that participate in arithmetic."""
+    return sql_type in _NUMERIC
+
+
+def common_type(left: SQLType, right: SQLType) -> SQLType:
+    """The result type of combining two operand types, widening INT to REAL."""
+    if left == right:
+        return left
+    if is_numeric(left) and is_numeric(right):
+        return SQLType.REAL
+    raise TypeMismatchError(f"incompatible types: {left.value} vs {right.value}")
+
+
+def coerce_scalar(value: Any, sql_type: SQLType) -> Any:
+    """Coerce a Python scalar to the canonical Python value for a SQL type.
+
+    ``None`` passes through (it is the SQL NULL).
+    """
+    if value is None:
+        return None
+    if sql_type == SQLType.INT:
+        if isinstance(value, (bool, np.bool_)):
+            return int(value)
+        if isinstance(value, (int, np.integer)):
+            return int(value)
+        if isinstance(value, (float, np.floating)) and float(value).is_integer():
+            return int(value)
+        raise TypeMismatchError(f"cannot coerce {value!r} to INT")
+    if sql_type == SQLType.REAL:
+        if isinstance(value, (bool, np.bool_)):
+            return float(value)
+        if isinstance(value, (int, float, np.integer, np.floating)):
+            return float(value)
+        raise TypeMismatchError(f"cannot coerce {value!r} to REAL")
+    if sql_type == SQLType.VARCHAR:
+        if isinstance(value, str):
+            return value
+        raise TypeMismatchError(f"cannot coerce {value!r} to VARCHAR")
+    if sql_type == SQLType.BOOL:
+        if isinstance(value, (bool, np.bool_)):
+            return bool(value)
+        raise TypeMismatchError(f"cannot coerce {value!r} to BOOL")
+    raise TypeMismatchError(f"unknown type {sql_type}")

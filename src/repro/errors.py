@@ -1,0 +1,75 @@
+"""Exception hierarchy for the MIP reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError`, so callers
+can catch platform failures without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class EngineError(ReproError):
+    """Base class for errors raised by the columnar SQL engine."""
+
+
+class ParseError(EngineError):
+    """A SQL statement could not be parsed."""
+
+
+class CatalogError(EngineError):
+    """A table, column, or function is missing or already exists."""
+
+
+class ExecutionError(EngineError):
+    """A statement parsed but failed during execution."""
+
+
+class TypeMismatchError(EngineError):
+    """A value or expression has an incompatible SQL type."""
+
+
+class UDFError(ReproError):
+    """A Python UDF failed to validate, generate, or execute."""
+
+
+class SMPCError(ReproError):
+    """Base class for secure multi-party computation failures."""
+
+
+class IntegrityError(SMPCError):
+    """A MAC check or share-consistency check failed (tampering detected)."""
+
+
+class ThresholdError(SMPCError):
+    """Not enough shares are available to reconstruct a secret."""
+
+
+class PrivacyError(ReproError):
+    """A differential-privacy parameter or budget is invalid or exhausted."""
+
+
+class FederationError(ReproError):
+    """Base class for federation-runtime failures."""
+
+
+class NodeUnavailableError(FederationError):
+    """A worker or SMPC node did not respond."""
+
+
+class DatasetUnavailableError(FederationError):
+    """A requested dataset is not present on any active worker."""
+
+
+class AlgorithmError(ReproError):
+    """An algorithm received invalid inputs or reached an invalid state."""
+
+
+class SpecificationError(AlgorithmError):
+    """Experiment parameters violate the algorithm's specification."""
+
+
+class PrivacyThresholdError(AlgorithmError):
+    """A computation would expose a group smaller than the privacy threshold."""

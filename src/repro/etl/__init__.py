@@ -1,0 +1,11 @@
+"""ETL: loading hospital source data into a worker's engine.
+
+Paper §2: "the source data in each hospital may be stored in a different
+form (e.g., csv files) or system and MIP provides the required ETL processes
+to upload it to MonetDB."
+"""
+
+from repro.etl.harmonize import HarmonizationReport, harmonize_table
+from repro.etl.loader import load_csv, load_csv_text
+
+__all__ = ["HarmonizationReport", "harmonize_table", "load_csv", "load_csv_text"]

@@ -1,0 +1,68 @@
+"""Harmonization: validate and clean a loaded table against its CDEs.
+
+Hospitals upload heterogeneous exports; harmonization enforces the Common
+Data Element contracts (enumerations, plausible ranges) before the table
+reaches the worker's engine, reporting what was dropped or nulled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.cdes import DataModel
+from repro.engine.column import Column
+from repro.engine.table import Table
+from repro.engine.types import SQLType
+
+
+@dataclass
+class HarmonizationReport:
+    """What harmonization changed, per column."""
+
+    total_rows: int = 0
+    out_of_range_nulled: dict[str, int] = field(default_factory=dict)
+    bad_level_nulled: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_nulled(self) -> int:
+        return sum(self.out_of_range_nulled.values()) + sum(self.bad_level_nulled.values())
+
+
+def harmonize_table(table: Table, data_model: DataModel) -> tuple[Table, HarmonizationReport]:
+    """Null out values violating their CDE contract; report the changes."""
+    report = HarmonizationReport(total_rows=table.num_rows)
+    columns = []
+    for spec in table.schema:
+        column = table.column(spec.name)
+        cde = data_model.cde(spec.name)
+        if spec.name == "dataset":
+            # The dataset code is an identifier, not a clinical variable:
+            # hospitals routinely introduce new cohort codes.
+            columns.append(column)
+            continue
+        if cde.is_categorical:
+            allowed = set(cde.enumerations)
+            bad = np.array(
+                [(v is not None and v not in allowed) for v in column.values], dtype=bool
+            ) & ~column.nulls
+            if bad.any():
+                report.bad_level_nulled[spec.name] = int(bad.sum())
+                column = Column(spec.sql_type, column.values.copy(), column.nulls | bad)
+        elif spec.sql_type in (SQLType.REAL, SQLType.INT):
+            low = cde.min_value
+            high = cde.max_value
+            if low is not None or high is not None:
+                values = column.values.astype(np.float64)
+                bad = np.zeros(len(values), dtype=bool)
+                if low is not None:
+                    bad |= values < low
+                if high is not None:
+                    bad |= values > high
+                bad &= ~column.nulls
+                if bad.any():
+                    report.out_of_range_nulled[spec.name] = int(bad.sum())
+                    column = Column(spec.sql_type, column.values.copy(), column.nulls | bad)
+        columns.append(column)
+    return Table(table.schema, columns), report

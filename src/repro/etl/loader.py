@@ -1,0 +1,85 @@
+"""CSV ingestion with CDE-driven typing."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.data.cdes import DataModel
+from repro.engine.table import ColumnSpec, Schema, Table
+from repro.engine.types import SQLType
+from repro.errors import SpecificationError
+
+#: Values treated as SQL NULL in source files.
+NA_TOKENS = {"", "na", "n/a", "nan", "null", "none", "?"}
+
+
+def load_csv(path: str | Path, data_model: DataModel) -> Table:
+    """Load a CSV file, typing and validating columns against a data model."""
+    with open(path, newline="") as handle:
+        return _load(csv.reader(handle), data_model)
+
+
+def load_csv_text(text: str, data_model: DataModel) -> Table:
+    """Load CSV content from a string (tests and inline fixtures)."""
+    return _load(csv.reader(io.StringIO(text)), data_model)
+
+
+def _load(reader, data_model: DataModel) -> Table:
+    rows = list(reader)
+    if not rows:
+        raise SpecificationError("empty CSV input")
+    header = [name.strip() for name in rows[0]]
+    unknown = [name for name in header if name not in data_model.cdes]
+    if unknown:
+        raise SpecificationError(
+            f"columns not in data model {data_model.name!r}: {unknown}"
+        )
+    if "dataset" not in header:
+        raise SpecificationError("CSV must include the 'dataset' column")
+    cdes = [data_model.cde(name) for name in header]
+    parsed_rows: list[list[Any]] = []
+    for line_number, raw in enumerate(rows[1:], start=2):
+        if not raw or all(not cell.strip() for cell in raw):
+            continue
+        if len(raw) != len(header):
+            raise SpecificationError(
+                f"line {line_number}: {len(raw)} cells for {len(header)} columns"
+            )
+        parsed_rows.append(
+            [_parse_cell(cell, cde, line_number) for cell, cde in zip(raw, cdes)]
+        )
+    schema = Schema([ColumnSpec(cde.code, cde.sql_type) for cde in cdes])
+    return Table.from_rows(schema, parsed_rows)
+
+
+def _parse_cell(cell: str, cde, line_number: int) -> Any:
+    text = cell.strip()
+    if text.lower() in NA_TOKENS:
+        return None
+    if cde.sql_type == SQLType.REAL:
+        try:
+            return float(text)
+        except ValueError:
+            raise SpecificationError(
+                f"line {line_number}, column {cde.code!r}: {text!r} is not a number"
+            ) from None
+    if cde.sql_type == SQLType.INT:
+        try:
+            return int(float(text))
+        except ValueError:
+            raise SpecificationError(
+                f"line {line_number}, column {cde.code!r}: {text!r} is not an integer"
+            ) from None
+    if cde.sql_type == SQLType.BOOL:
+        lowered = text.lower()
+        if lowered in ("true", "t", "1", "yes"):
+            return True
+        if lowered in ("false", "f", "0", "no"):
+            return False
+        raise SpecificationError(
+            f"line {line_number}, column {cde.code!r}: {text!r} is not a boolean"
+        )
+    return text

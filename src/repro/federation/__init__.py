@@ -1,0 +1,27 @@
+"""Federation runtime: Master and Worker nodes over a simulated transport.
+
+The deployment pieces the paper lists (Celery on RabbitMQ, a Quart REST API,
+MicroK8s) are replaced by in-process nodes exchanging typed messages through
+:class:`~repro.federation.transport.Transport`, which meters traffic, models
+latency, and injects failures.  Orchestration semantics are preserved: jobs
+carry global unique identifiers, workers execute algorithm steps as generated
+SQL UDFs inside their local engine, and only transfers (aggregates) ever
+leave a worker.
+"""
+
+from repro.federation.controller import Federation, FederationConfig, create_federation
+from repro.federation.master import Master
+from repro.federation.messages import Message
+from repro.federation.transport import Transport, TransportStats
+from repro.federation.worker import Worker
+
+__all__ = [
+    "Federation",
+    "FederationConfig",
+    "Master",
+    "Message",
+    "Transport",
+    "TransportStats",
+    "Worker",
+    "create_federation",
+]

@@ -1,0 +1,62 @@
+"""Plain (non-secure) aggregation of secure-transfer payloads on the master.
+
+The paper's non-secure path ships local results through remote/merge tables
+and "perform[s] the aggregation there" — on the Master, in the clear.  The
+operations match the SMPC cluster's exactly (sum, product, min, max,
+disjoint union) so an algorithm runs unchanged on either path; only *where*
+the aggregation happens differs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import FederationError
+
+
+def aggregate_plain(transfers: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+    """Aggregate per-worker secure-transfer dicts in the clear."""
+    if not transfers:
+        raise FederationError("cannot aggregate zero transfers")
+    keys = list(transfers[0])
+    for transfer in transfers[1:]:
+        if list(transfer) != keys:
+            raise FederationError("workers disagree on transfer keys")
+    result: dict[str, Any] = {}
+    for key in keys:
+        operations = {t[key]["operation"] for t in transfers}
+        if len(operations) != 1:
+            raise FederationError(f"key {key!r}: conflicting operations")
+        operation = operations.pop()
+        data = [t[key]["data"] for t in transfers]
+        result[key] = _aggregate_one(operation, data)
+    return result
+
+
+def _aggregate_one(operation: str, data: list[Any]) -> Any:
+    scalar = not isinstance(data[0], (list, tuple))
+    arrays = [np.asarray(d, dtype=np.float64) for d in data]
+    shapes = {a.shape for a in arrays}
+    if len(shapes) != 1:
+        raise FederationError("transfer shape mismatch across workers")
+    stacked = np.stack(arrays)
+    if operation == "sum":
+        combined = stacked.sum(axis=0)
+    elif operation == "product":
+        combined = stacked.prod(axis=0)
+    elif operation == "min":
+        combined = stacked.min(axis=0)
+    elif operation == "max":
+        combined = stacked.max(axis=0)
+    elif operation == "union":
+        combined = (stacked.sum(axis=0) > 0).astype(np.int64)
+    else:
+        raise FederationError(f"unsupported aggregation operation {operation!r}")
+    if scalar:
+        value = combined.item()
+        return int(value) if operation == "union" else float(value)
+    if operation == "union":
+        return combined.astype(int).tolist()
+    return combined.tolist()

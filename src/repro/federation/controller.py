@@ -1,0 +1,84 @@
+"""Federation assembly: wire Master, Workers, SMPC cluster and transport."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.engine.table import Table
+from repro.errors import FederationError
+from repro.federation.master import Master
+from repro.federation.transport import Transport
+from repro.federation.worker import DEFAULT_PRIVACY_THRESHOLD, Worker
+from repro.smpc.cluster import SMPCCluster
+
+
+@dataclass(frozen=True)
+class FederationConfig:
+    """Deployment knobs for a simulated federation."""
+
+    smpc_nodes: int = 3
+    smpc_scheme: str = "shamir"
+    privacy_threshold: int = DEFAULT_PRIVACY_THRESHOLD
+    latency_seconds: float = 0.0005
+    bandwidth_bytes_per_second: float = 1.25e8
+    drop_probability: float = 0.0
+    seed: int | None = None
+
+
+@dataclass
+class Federation:
+    """A running federation: the object experiments execute against."""
+
+    transport: Transport
+    master: Master
+    workers: dict[str, Worker]
+    smpc_cluster: SMPCCluster | None = None
+    config: FederationConfig = field(default_factory=FederationConfig)
+
+    def worker(self, worker_id: str) -> Worker:
+        try:
+            return self.workers[worker_id]
+        except KeyError:
+            raise FederationError(f"no such worker: {worker_id!r}") from None
+
+    def set_worker_down(self, worker_id: str, down: bool = True) -> None:
+        """Failure injection: make a worker unreachable."""
+        self.worker(worker_id)  # validate
+        self.transport.set_down(worker_id, down)
+        self.master.refresh_catalog()
+
+
+def create_federation(
+    worker_data: Mapping[str, Mapping[str, Table]],
+    config: FederationConfig | None = None,
+) -> Federation:
+    """Build a federation from per-worker data-model tables.
+
+    ``worker_data`` maps worker id to ``{data_model: table}``; every table
+    needs a ``dataset`` column (see :meth:`Worker.load_data_model`).
+    """
+    config = config or FederationConfig()
+    if not worker_data:
+        raise FederationError("a federation needs at least one worker")
+    transport = Transport(
+        latency_seconds=config.latency_seconds,
+        bandwidth_bytes_per_second=config.bandwidth_bytes_per_second,
+        drop_probability=config.drop_probability,
+        seed=config.seed,
+    )
+    workers: dict[str, Worker] = {}
+    for worker_id, models in worker_data.items():
+        worker = Worker(worker_id, privacy_threshold=config.privacy_threshold)
+        for data_model, table in models.items():
+            worker.load_data_model(data_model, table)
+        transport.register(worker_id, worker.handle)
+        workers[worker_id] = worker
+    smpc = (
+        SMPCCluster(config.smpc_nodes, config.smpc_scheme, seed=config.seed)
+        if config.smpc_nodes
+        else None
+    )
+    master = Master(transport, list(workers), smpc_cluster=smpc)
+    master.refresh_catalog()
+    return Federation(transport, master, workers, smpc, config)

@@ -1,0 +1,236 @@
+"""The Master node: orchestration, dataset tracking, aggregation paths.
+
+Paper §2, *Master Node*: "The Master node governs the communication with and
+among the workers and keeps track of the dataset availability on each worker
+for efficient algorithm shipping.  It also orchestrates the algorithm flow
+and handles the aggregates returned from the local computations.  Finally, it
+is also possible to perform computations locally as well."
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Sequence
+
+from repro.engine.database import Database
+from repro.errors import DatasetUnavailableError, FederationError, NodeUnavailableError
+from repro.federation.serialization import table_from_payload
+from repro.federation.transport import Transport
+from repro.smpc.cluster import NoiseSpec, SMPCCluster
+from repro.udfgen.decorators import udf_registry
+from repro.udfgen.generator import generate_udf_application, run_udf_application
+
+MASTER_ID = "master"
+SMPC_ID = "smpc_cluster"
+
+
+class Master:
+    """Coordinator node; owns a global database for global steps."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        worker_ids: Sequence[str],
+        smpc_cluster: SMPCCluster | None = None,
+    ) -> None:
+        self.node_id = MASTER_ID
+        self.transport = transport
+        self.worker_ids = list(worker_ids)
+        self.smpc_cluster = smpc_cluster
+        self.database = Database(name=MASTER_ID)
+        self.database.set_remote_resolver(self._resolve_remote)
+        self._availability: dict[str, dict[str, list[str]]] = {}
+        self._global_outputs: dict[str, str] = {}  # table -> kind
+        self._remote_counter = 0
+
+    # ---------------------------------------------------------- catalog/avail
+
+    def refresh_catalog(self) -> dict[str, dict[str, list[str]]]:
+        """Poll workers for their datasets; tolerate unreachable workers."""
+        availability: dict[str, dict[str, list[str]]] = {}
+        for worker in self.worker_ids:
+            try:
+                response = self.transport.send(self.node_id, worker, "list_datasets")
+            except NodeUnavailableError:
+                continue
+            for data_model, codes in response["datasets"].items():
+                model_map = availability.setdefault(data_model, {})
+                for code in codes:
+                    model_map.setdefault(code, []).append(worker)
+        self._availability = availability
+        return availability
+
+    @property
+    def availability(self) -> dict[str, dict[str, list[str]]]:
+        if not self._availability:
+            self.refresh_catalog()
+        return self._availability
+
+    def workers_for(self, data_model: str, datasets: Sequence[str]) -> list[str]:
+        """Workers holding at least one of the requested datasets."""
+        model_map = self.availability.get(data_model)
+        if model_map is None:
+            raise DatasetUnavailableError(f"no worker holds data model {data_model!r}")
+        chosen: list[str] = []
+        missing: list[str] = []
+        for code in datasets:
+            holders = model_map.get(code)
+            if not holders:
+                missing.append(code)
+                continue
+            for worker in holders:
+                if worker not in chosen:
+                    chosen.append(worker)
+        if missing:
+            raise DatasetUnavailableError(
+                f"datasets {missing} are not available on any active worker"
+            )
+        return chosen
+
+    def alive_workers(self) -> list[str]:
+        alive = []
+        for worker in self.worker_ids:
+            try:
+                self.transport.send(self.node_id, worker, "ping")
+            except NodeUnavailableError:
+                continue
+            alive.append(worker)
+        return alive
+
+    # ------------------------------------------------------------ local steps
+
+    def run_local_step(
+        self,
+        job_id: str,
+        udf_name: str,
+        per_worker_arguments: Mapping[str, Mapping[str, Any]],
+    ) -> dict[str, list[dict[str, str]]]:
+        """Run one local computation on each named worker.
+
+        ``per_worker_arguments`` maps worker id to that worker's argument
+        specs.  Returns {worker: [{"table":..., "kind":...}, ...]}.
+        """
+        results: dict[str, list[dict[str, str]]] = {}
+        for worker, arguments in per_worker_arguments.items():
+            response = self.transport.send(
+                self.node_id,
+                worker,
+                "run_udf",
+                {"job_id": job_id, "udf_name": udf_name, "arguments": dict(arguments)},
+            )
+            results[worker] = response["outputs"]
+        return results
+
+    # ------------------------------------------------------ aggregation paths
+
+    def gather_transfers_plain(
+        self, job_id: str, worker_tables: Mapping[str, str]
+    ) -> list[dict[str, Any]]:
+        """Non-secure path: remote + merge tables (never materialized).
+
+        The master declares one remote table per worker output and a merge
+        table over them; selecting from the merge table pulls each transfer
+        through the remote resolver at query time.
+        """
+        self._remote_counter += 1
+        merge_name = f"merge_{job_id}_{self._remote_counter}"
+        self.database.execute(f"CREATE MERGE TABLE {merge_name} (transfer VARCHAR)")
+        for index, (worker, table) in enumerate(sorted(worker_tables.items())):
+            remote_name = f"remote_{job_id}_{self._remote_counter}_{index}"
+            self.database.execute(
+                f"CREATE REMOTE TABLE {remote_name} (transfer VARCHAR) ON '{worker}/{table}'"
+            )
+            self.database.execute(f"ALTER TABLE {merge_name} ADD TABLE {remote_name}")
+        merged = self.database.query(f"SELECT * FROM {merge_name}")
+        return [json.loads(blob) for blob in merged.column("transfer").to_list()]
+
+    def gather_transfers_secure(
+        self,
+        job_id: str,
+        worker_tables: Mapping[str, str],
+        noise: NoiseSpec | None = None,
+    ) -> dict[str, Any]:
+        """Secure path: signal the SMPC cluster to import and aggregate.
+
+        Returns the single aggregated transfer dict (key -> aggregated data).
+        """
+        if self.smpc_cluster is None:
+            raise FederationError("no SMPC cluster is configured")
+        for worker, table in sorted(worker_tables.items()):
+            response = self.transport.send(SMPC_ID, worker, "get_secure_payload", {"table": table})
+            self.smpc_cluster.import_shares(job_id, worker, response["payload"])
+        aggregated = self.smpc_cluster.aggregate(job_id, noise=noise)
+        return {key: value for key, value in aggregated.items()}
+
+    # ----------------------------------------------------------- global steps
+
+    def run_global_step(
+        self, job_id: str, udf_name: str, arguments: Mapping[str, Any]
+    ) -> list[dict[str, str]]:
+        """Run a global computation step on the master's own engine."""
+        spec = udf_registry.get(udf_name)
+        application = generate_udf_application(spec, f"{job_id}_global", dict(arguments))
+        run_udf_application(self.database, application)
+        outputs = []
+        for table, iotype in zip(application.output_tables, application.output_kinds):
+            self._global_outputs[table] = iotype.kind
+            outputs.append({"table": table, "kind": iotype.kind})
+        return outputs
+
+    def store_global_transfer(self, job_id: str, data: Mapping[str, Any]) -> str:
+        """Materialize an aggregated dict as a transfer table on the master."""
+        self._remote_counter += 1
+        table = f"transfer_{job_id}_{self._remote_counter}"
+        self.database.execute(f"CREATE TABLE {table} (transfer VARCHAR)")
+        blob = json.dumps(dict(data)).replace("'", "''")
+        self.database.execute(f"INSERT INTO {table} VALUES ('{blob}')")
+        self._global_outputs[table] = "transfer"
+        return table
+
+    def read_transfer(self, table: str) -> dict[str, Any]:
+        """Read a transfer table on the master."""
+        kind = self._global_outputs.get(table)
+        if kind is None:
+            raise FederationError(f"table {table!r} is not a known global output")
+        if kind not in ("transfer", "secure_transfer"):
+            raise FederationError(f"table {table!r} is a {kind!r}, not a transfer")
+        blob = self.database.scalar(f"SELECT * FROM {table}")
+        return json.loads(blob)
+
+    def broadcast_transfer(self, job_id: str, table: str, workers: Sequence[str]) -> dict[str, str]:
+        """Ship a global transfer to workers for the next local iteration."""
+        blob = self.database.scalar(f"SELECT * FROM {table}")
+        placed: dict[str, str] = {}
+        for worker in workers:
+            remote_table = f"bcast_{table}_{worker}"
+            self.transport.send(
+                self.node_id,
+                worker,
+                "put_transfer",
+                {"job_id": job_id, "table": remote_table, "blob": blob},
+            )
+            placed[worker] = remote_table
+        return placed
+
+    # ---------------------------------------------------------------- cleanup
+
+    def cleanup(self, job_id: str, workers: Sequence[str]) -> None:
+        for worker in workers:
+            try:
+                self.transport.send(self.node_id, worker, "cleanup", {"job_id": job_id})
+            except NodeUnavailableError:
+                continue
+        for table in [t for t in self._global_outputs if job_id in t]:
+            self.database.drop_table(table, if_exists=True)
+            del self._global_outputs[table]
+
+    # ----------------------------------------------------------------- remote
+
+    def _resolve_remote(self, location: str):
+        """Remote-table resolver: 'worker/table' -> Table, via the transport."""
+        try:
+            worker, table = location.split("/", 1)
+        except ValueError:
+            raise FederationError(f"bad remote location {location!r}") from None
+        response = self.transport.send(self.node_id, worker, "fetch_table", {"table": table})
+        return table_from_payload(response["table"])

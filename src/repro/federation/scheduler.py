@@ -1,0 +1,56 @@
+"""Dataset-aware algorithm shipping.
+
+The Master tracks dataset availability; the scheduler decides *where* each
+requested dataset is read so that replicated datasets are counted exactly
+once and work spreads across workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import DatasetUnavailableError
+
+
+@dataclass(frozen=True)
+class ShippingPlan:
+    """Which datasets each worker reads for one experiment."""
+
+    assignments: dict[str, list[str]]  # worker -> dataset codes
+
+    @property
+    def workers(self) -> list[str]:
+        return sorted(self.assignments)
+
+    def datasets_for(self, worker: str) -> list[str]:
+        return list(self.assignments.get(worker, []))
+
+
+def plan_shipping(
+    availability: Mapping[str, Sequence[str]],
+    datasets: Sequence[str],
+) -> ShippingPlan:
+    """Assign each requested dataset to exactly one holding worker.
+
+    ``availability`` maps dataset code to the workers holding it.  A dataset
+    replicated on several workers is assigned to the worker with the fewest
+    assignments so far (greedy load balancing); a dataset with no holder
+    raises :class:`DatasetUnavailableError`.
+    """
+    assignments: dict[str, list[str]] = {}
+    missing: list[str] = []
+    # Process scarce datasets first so load balancing has room to choose.
+    ordered = sorted(datasets, key=lambda code: len(availability.get(code, ())))
+    for code in ordered:
+        holders = list(availability.get(code, ()))
+        if not holders:
+            missing.append(code)
+            continue
+        chosen = min(holders, key=lambda worker: len(assignments.get(worker, [])))
+        assignments.setdefault(chosen, []).append(code)
+    if missing:
+        raise DatasetUnavailableError(
+            f"datasets {sorted(missing)} are not available on any active worker"
+        )
+    return ShippingPlan({worker: sorted(codes) for worker, codes in assignments.items()})

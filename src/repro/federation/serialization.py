@@ -1,0 +1,22 @@
+"""Table <-> payload serialization for transport messages."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.engine.table import ColumnSpec, Schema, Table
+from repro.engine.types import SQLType
+
+
+def table_to_payload(table: Table) -> dict[str, Any]:
+    """Serialize a table into a plain-dict wire format."""
+    return {
+        "columns": [(spec.name, spec.sql_type.value) for spec in table.schema],
+        "rows": table.to_rows(),
+    }
+
+
+def table_from_payload(payload: dict[str, Any]) -> Table:
+    """Rebuild a table from the wire format."""
+    specs = [ColumnSpec(name, SQLType.from_name(type_name)) for name, type_name in payload["columns"]]
+    return Table.from_rows(Schema(specs), payload["rows"])

@@ -1,0 +1,120 @@
+"""A simulated network between federation nodes.
+
+In-process replacement for Celery/RabbitMQ: a send is a synchronous call into
+the receiving node's handler.  The transport still behaves like a network
+where it matters for the reproduction:
+
+- traffic is metered (messages, payload bytes) per link,
+- a latency model accumulates *simulated* wall time (per-message latency plus
+  bytes over bandwidth), so benchmarks can report modeled network cost,
+- failure injection: nodes can be marked down, or links given a drop
+  probability, raising :class:`NodeUnavailableError` like a timeout would.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import FederationError, NodeUnavailableError
+from repro.federation.messages import Message
+
+Handler = Callable[[Message], dict[str, Any]]
+
+
+@dataclass
+class TransportStats:
+    """Aggregate traffic counters."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    simulated_seconds: float = 0.0
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes_sent = 0
+        self.simulated_seconds = 0.0
+
+
+class Transport:
+    """Registry of node handlers plus the simulated network model."""
+
+    def __init__(
+        self,
+        latency_seconds: float = 0.0005,
+        bandwidth_bytes_per_second: float = 1.25e8,
+        drop_probability: float = 0.0,
+        seed: int | None = None,
+    ) -> None:
+        if not 0 <= drop_probability <= 1:
+            raise FederationError("drop probability must be in [0, 1]")
+        self.latency_seconds = latency_seconds
+        self.bandwidth = bandwidth_bytes_per_second
+        self.drop_probability = drop_probability
+        self._rng = random.Random(seed)
+        self._handlers: dict[str, Handler] = {}
+        self._down: set[str] = set()
+        self.stats = TransportStats()
+        self.link_stats: dict[tuple[str, str], TransportStats] = defaultdict(TransportStats)
+
+    def register(self, node_id: str, handler: Handler) -> None:
+        if node_id in self._handlers:
+            raise FederationError(f"node {node_id!r} already registered")
+        self._handlers[node_id] = handler
+
+    def nodes(self) -> list[str]:
+        return sorted(self._handlers)
+
+    # ------------------------------------------------------ failure injection
+
+    def set_down(self, node_id: str, down: bool = True) -> None:
+        """Mark a node unreachable (simulates a crashed or partitioned node)."""
+        if down:
+            self._down.add(node_id)
+        else:
+            self._down.discard(node_id)
+
+    def is_down(self, node_id: str) -> bool:
+        return node_id in self._down
+
+    # ---------------------------------------------------------------- sending
+
+    def send(self, sender: str, receiver: str, kind: str, payload: dict[str, Any] | None = None) -> dict[str, Any]:
+        """Deliver one message and return the handler's response payload."""
+        handler = self._handlers.get(receiver)
+        if handler is None:
+            raise FederationError(f"unknown node {receiver!r}")
+        if receiver in self._down or sender in self._down:
+            raise NodeUnavailableError(f"node {receiver!r} is unreachable")
+        if self.drop_probability and self._rng.random() < self.drop_probability:
+            raise NodeUnavailableError(
+                f"message {kind!r} from {sender!r} to {receiver!r} was dropped"
+            )
+        message = Message(sender, receiver, kind, payload or {})
+        size = _payload_size(message.payload)
+        self._account(sender, receiver, size)
+        response = handler(message)
+        if response is None:
+            response = {}
+        self._account(receiver, sender, _payload_size(response))
+        return response
+
+    def _account(self, sender: str, receiver: str, size: int) -> None:
+        elapsed = self.latency_seconds + size / self.bandwidth
+        self.stats.messages += 1
+        self.stats.bytes_sent += size
+        self.stats.simulated_seconds += elapsed
+        link = self.link_stats[(sender, receiver)]
+        link.messages += 1
+        link.bytes_sent += size
+        link.simulated_seconds += elapsed
+
+
+def _payload_size(payload: Any) -> int:
+    try:
+        return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # noqa: BLE001 - size metering must never break a send
+        return 1024

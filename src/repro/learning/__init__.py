@@ -1,0 +1,27 @@
+"""Federated model training (paper §2, *Training*).
+
+"The Master sends to Workers (data holders) the current model parameters.
+Each Worker computes the parameter updates of the model on his local
+dataset.  Next, we have two options: use differential privacy (DP) or secure
+aggregation (SA)."
+
+- **DP path** — each worker clips its update and injects Gaussian noise
+  locally before the update leaves the node (local DP; the master sees a
+  noisy individual update per worker).
+- **SA path** — each worker clips and secret-shares its exact update to the
+  SMPC cluster; noise is injected *inside* the protocol once, on the sum.
+
+At equal privacy budget the SA path adds one noise draw where local DP adds
+one per worker — the utility gap the E6 benchmark measures.
+"""
+
+from repro.learning.models import LinearModel, LogisticModel
+from repro.learning.trainer import FederatedTrainer, TrainingConfig, TrainingResult
+
+__all__ = [
+    "FederatedTrainer",
+    "LinearModel",
+    "LogisticModel",
+    "TrainingConfig",
+    "TrainingResult",
+]

@@ -1,0 +1,30 @@
+"""Update aggregation rules for federated training."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+
+
+def fedavg(updates: Sequence[np.ndarray], weights: Sequence[float]) -> np.ndarray:
+    """Weighted average of worker updates (weights ~ local sample counts)."""
+    if not updates:
+        raise AlgorithmError("no updates to aggregate")
+    if len(updates) != len(weights):
+        raise AlgorithmError("updates/weights length mismatch")
+    total = float(sum(weights))
+    if total <= 0:
+        raise AlgorithmError("non-positive total weight")
+    stacked = np.stack([np.asarray(u, dtype=np.float64) for u in updates])
+    weight_column = np.asarray(weights, dtype=np.float64)[:, None] / total
+    return (stacked * weight_column).sum(axis=0)
+
+
+def fedsgd(updates: Sequence[np.ndarray]) -> np.ndarray:
+    """Unweighted mean of worker gradients."""
+    if not updates:
+        raise AlgorithmError("no updates to aggregate")
+    return np.mean(np.stack([np.asarray(u, dtype=np.float64) for u in updates]), axis=0)

@@ -1,0 +1,68 @@
+"""Gradient-trained models for the federated learning loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.udfgen.udf_helpers import sigmoid
+
+
+@dataclass
+class LogisticModel:
+    """Binary logistic classifier trained by (federated) gradient descent."""
+
+    weights: np.ndarray
+
+    @classmethod
+    def zeros(cls, n_features: int) -> "LogisticModel":
+        return cls(np.zeros(n_features))
+
+    def predict_probability(self, design: np.ndarray) -> np.ndarray:
+        return sigmoid(design @ self.weights)
+
+    def predict(self, design: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_probability(design) >= threshold).astype(np.int64)
+
+    def gradient(self, design: np.ndarray, response: np.ndarray) -> np.ndarray:
+        """Mean negative log-likelihood gradient."""
+        if len(response) == 0:
+            raise AlgorithmError("cannot compute a gradient on zero rows")
+        probabilities = self.predict_probability(design)
+        return design.T @ (probabilities - response) / len(response)
+
+    def loss(self, design: np.ndarray, response: np.ndarray) -> float:
+        probabilities = np.clip(self.predict_probability(design), 1e-12, 1 - 1e-12)
+        return float(
+            -np.mean(
+                response * np.log(probabilities)
+                + (1 - response) * np.log(1 - probabilities)
+            )
+        )
+
+
+@dataclass
+class LinearModel:
+    """Linear regressor trained by (federated) gradient descent."""
+
+    weights: np.ndarray
+
+    @classmethod
+    def zeros(cls, n_features: int) -> "LinearModel":
+        return cls(np.zeros(n_features))
+
+    def predict(self, design: np.ndarray) -> np.ndarray:
+        return design @ self.weights
+
+    def gradient(self, design: np.ndarray, response: np.ndarray) -> np.ndarray:
+        """Mean squared-error gradient."""
+        if len(response) == 0:
+            raise AlgorithmError("cannot compute a gradient on zero rows")
+        residuals = self.predict(design) - response
+        return 2.0 * design.T @ residuals / len(response)
+
+    def loss(self, design: np.ndarray, response: np.ndarray) -> float:
+        residuals = self.predict(design) - response
+        return float(np.mean(residuals**2))

@@ -1,0 +1,26 @@
+"""Differential privacy: mechanisms, budget accounting, clipping.
+
+The paper's training path offers "local differential privacy (DP)" — the
+Worker injects Gaussian noise before sending updates — or secure aggregation
+followed by noise injected inside the SMPC protocol.  This package provides
+the mechanisms (Laplace, Gaussian, analytic Gaussian calibration), an
+(epsilon, delta) accountant with basic and advanced composition, and gradient
+clipping to bound sensitivity.
+"""
+
+from repro.privacy.accountant import PrivacyAccountant, PrivacySpent
+from repro.privacy.clipping import clip_by_l2_norm
+from repro.privacy.mechanisms import (
+    GaussianMechanism,
+    LaplaceMechanism,
+    gaussian_sigma,
+)
+
+__all__ = [
+    "GaussianMechanism",
+    "LaplaceMechanism",
+    "PrivacyAccountant",
+    "PrivacySpent",
+    "clip_by_l2_norm",
+    "gaussian_sigma",
+]

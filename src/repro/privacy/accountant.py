@@ -1,0 +1,92 @@
+"""(epsilon, delta) budget accounting with basic and advanced composition."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import PrivacyError
+
+
+@dataclass(frozen=True)
+class PrivacySpent:
+    """Total privacy loss under a chosen composition theorem."""
+
+    epsilon: float
+    delta: float
+
+
+class PrivacyAccountant:
+    """Tracks the (epsilon, delta) cost of a sequence of mechanism releases.
+
+    ``spent()`` reports basic (sequential) composition; ``spent_advanced()``
+    applies the advanced composition theorem (Dwork-Rothblum-Vadhan), useful
+    when an experiment performs many homogeneous releases (e.g. one per
+    training round).
+    """
+
+    def __init__(self, epsilon_budget: float | None = None, delta_budget: float | None = None) -> None:
+        if epsilon_budget is not None and epsilon_budget <= 0:
+            raise PrivacyError("epsilon budget must be positive")
+        if delta_budget is not None and not 0 <= delta_budget < 1:
+            raise PrivacyError("delta budget must be in [0, 1)")
+        self.epsilon_budget = epsilon_budget
+        self.delta_budget = delta_budget
+        self._releases: list[tuple[float, float]] = []
+
+    def record(self, epsilon: float, delta: float = 0.0) -> None:
+        """Account one release; raises if a budget would be exceeded."""
+        if epsilon <= 0:
+            raise PrivacyError("released epsilon must be positive")
+        if not 0 <= delta < 1:
+            raise PrivacyError("released delta must be in [0, 1)")
+        prospective = self._basic(self._releases + [(epsilon, delta)])
+        if self.epsilon_budget is not None and prospective.epsilon > self.epsilon_budget + 1e-12:
+            raise PrivacyError(
+                f"epsilon budget exhausted: {prospective.epsilon:.4f} > {self.epsilon_budget}"
+            )
+        if self.delta_budget is not None and prospective.delta > self.delta_budget + 1e-15:
+            raise PrivacyError(
+                f"delta budget exhausted: {prospective.delta:.2e} > {self.delta_budget}"
+            )
+        self._releases.append((epsilon, delta))
+
+    @property
+    def n_releases(self) -> int:
+        return len(self._releases)
+
+    def spent(self) -> PrivacySpent:
+        """Basic composition: epsilons and deltas add."""
+        return self._basic(self._releases)
+
+    @staticmethod
+    def _basic(releases: list[tuple[float, float]]) -> PrivacySpent:
+        return PrivacySpent(
+            epsilon=sum(e for e, _ in releases),
+            delta=min(1.0, sum(d for _, d in releases)),
+        )
+
+    def spent_advanced(self, delta_slack: float = 1e-6) -> PrivacySpent:
+        """Advanced composition for k releases at (epsilon_0, delta_0) each.
+
+        epsilon' = eps0 * sqrt(2 k ln(1/delta')) + k eps0 (e^eps0 - 1),
+        delta' = k delta0 + delta_slack.  Falls back to basic composition if
+        the releases are heterogeneous or basic happens to be tighter.
+        """
+        if not self._releases:
+            return PrivacySpent(0.0, 0.0)
+        if not 0 < delta_slack < 1:
+            raise PrivacyError("delta_slack must be in (0, 1)")
+        epsilons = {round(e, 12) for e, _ in self._releases}
+        basic = self.spent()
+        if len(epsilons) != 1:
+            return basic
+        epsilon_0 = self._releases[0][0]
+        k = len(self._releases)
+        advanced_epsilon = epsilon_0 * math.sqrt(2 * k * math.log(1 / delta_slack)) + (
+            k * epsilon_0 * (math.exp(epsilon_0) - 1)
+        )
+        advanced_delta = min(1.0, sum(d for _, d in self._releases) + delta_slack)
+        if advanced_epsilon < basic.epsilon:
+            return PrivacySpent(advanced_epsilon, advanced_delta)
+        return basic

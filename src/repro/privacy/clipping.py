@@ -1,0 +1,22 @@
+"""Sensitivity control by norm clipping (used before DP noise in training)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PrivacyError
+
+
+def clip_by_l2_norm(values: np.ndarray, clip_norm: float) -> np.ndarray:
+    """Scale a vector down so its L2 norm is at most ``clip_norm``.
+
+    This bounds the contribution of one worker's update, making the update's
+    sensitivity equal to ``clip_norm`` for the DP mechanisms.
+    """
+    if clip_norm <= 0:
+        raise PrivacyError(f"clip norm must be positive, got {clip_norm}")
+    values = np.asarray(values, dtype=np.float64)
+    norm = float(np.linalg.norm(values))
+    if norm <= clip_norm or norm == 0.0:
+        return values.copy()
+    return values * (clip_norm / norm)

@@ -1,0 +1,38 @@
+"""Secure multi-party computation (the SCALE-MAMBA / SPDZ substitute).
+
+The paper's SMPC engine supports two sharing schemes with an explicit
+security/efficiency trade-off:
+
+- **full threshold (FT)** — additive sharing with SPDZ-style information-
+  theoretic MACs; secure *with abort* against an active-malicious majority
+  (all-but-one corrupt), but slow,
+- **Shamir** — polynomial sharing with ``t < n/2``; fast, but secure only
+  against honest-but-curious adversaries.
+
+Supported aggregations (paper §2): sum, multiplication, min/max, disjoint
+union; plus Laplacian/Gaussian noise injected *inside* the protocol before a
+result is opened.
+
+Our reproduction implements the protocols at the algorithmic level: Beaver
+multiplication triples and shared random bits come from a trusted-dealer
+offline phase (the stand-in for SPDZ's offline preprocessing); secure
+comparison uses the standard statistically-masked-open + BitLT construction.
+Communication (rounds and field elements sent) is metered so that the
+benchmarks reproduce the paper's FT-vs-Shamir cost ordering.
+"""
+
+from repro.smpc.cluster import SMPCCluster, SecureComputationRequest
+from repro.smpc.encoding import FixedPointEncoder
+from repro.smpc.field import PRIME, FieldVector
+from repro.smpc.protocol import FTProtocol, Protocol, ShamirProtocol
+
+__all__ = [
+    "FTProtocol",
+    "FieldVector",
+    "FixedPointEncoder",
+    "PRIME",
+    "Protocol",
+    "SMPCCluster",
+    "SecureComputationRequest",
+    "ShamirProtocol",
+]

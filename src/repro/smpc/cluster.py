@@ -1,0 +1,207 @@
+"""The SMPC cluster: the component MIP's Master signals for secure
+aggregation.
+
+Paper §2: "the Master node signals the SMPC cluster, the SMPC nodes import
+the secret shares from the Workers and run the SMPC protocol.  When the SMPC
+computation finishes, the result is sent to the Master node. [...] when a
+computation is triggered, it is assigned a global unique identifier, which is
+used to retrieve results asynchronously".
+
+The cluster aggregates *secure transfer* payloads (dicts of
+``{key: {"data": scalar-or-nested-list, "operation": op}}``), supports the
+four operations the paper lists (sum, multiplication, min/max, disjoint
+union) and can inject Laplacian or Gaussian noise inside the protocol before
+a result is opened: every SMPC node contributes an authenticated share of
+partial noise, so no single node ever knows the total perturbation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Literal, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SMPCError
+from repro.smpc.encoding import FixedPointEncoder
+from repro.smpc.field import FieldVector
+from repro.smpc.protocol import FTProtocol, Protocol, ShamirProtocol
+
+SchemeName = Literal["shamir", "full_threshold"]
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """Noise injected inside the protocol before opening a result."""
+
+    mechanism: Literal["gaussian", "laplace"]
+    scale: float
+
+    def partial(self, rng: np.random.Generator, n_nodes: int, size: int) -> np.ndarray:
+        """One node's partial noise; partials across nodes sum to the target
+        distribution (exactly for Gaussian, via infinite divisibility for
+        Laplace using the Gamma-difference representation)."""
+        if self.mechanism == "gaussian":
+            return rng.normal(0.0, self.scale / np.sqrt(n_nodes), size)
+        shape = 1.0 / n_nodes
+        return rng.gamma(shape, self.scale, size) - rng.gamma(shape, self.scale, size)
+
+
+@dataclass
+class SecureComputationRequest:
+    """One pending aggregation job inside the cluster."""
+
+    job_id: str
+    payloads: dict[str, dict[str, Any]] = field(default_factory=dict)  # worker -> transfer
+
+
+@dataclass(frozen=True)
+class _Flattened:
+    values: list[float]
+    shape: tuple[int, ...] | None  # None for a scalar
+
+
+class SMPCCluster:
+    """A simulated cluster of SMPC computing nodes."""
+
+    def __init__(
+        self,
+        n_nodes: int = 3,
+        scheme: SchemeName = "shamir",
+        seed: int | None = None,
+        encoder: FixedPointEncoder | None = None,
+    ) -> None:
+        if scheme == "shamir":
+            self.protocol: Protocol = ShamirProtocol(n_nodes, seed=seed, encoder=encoder)
+        elif scheme == "full_threshold":
+            self.protocol = FTProtocol(n_nodes, seed=seed, encoder=encoder)
+        else:
+            raise SMPCError(f"unknown SMPC scheme {scheme!r}")
+        self.scheme = scheme
+        self.n_nodes = n_nodes
+        self._jobs: dict[str, SecureComputationRequest] = {}
+        self._results: dict[str, dict[str, Any]] = {}
+        self._noise_rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------ job intake
+
+    def import_shares(self, job_id: str, worker_id: str, payload: Mapping[str, Any]) -> None:
+        """Secret-share one worker's secure-transfer payload into the cluster.
+
+        In deployment the worker splits its values into shares and sends one
+        share to each SMPC node over a secure channel; here the sharing
+        happens inside :meth:`Protocol.input_vector` and the communication is
+        metered identically.
+        """
+        job = self._jobs.setdefault(job_id, SecureComputationRequest(job_id))
+        if worker_id in job.payloads:
+            raise SMPCError(f"worker {worker_id!r} already contributed to job {job_id!r}")
+        job.payloads[worker_id] = {k: dict(v) for k, v in payload.items()}
+
+    def has_job(self, job_id: str) -> bool:
+        return job_id in self._jobs or job_id in self._results
+
+    # ------------------------------------------------------------ aggregation
+
+    def aggregate(self, job_id: str, noise: NoiseSpec | None = None) -> dict[str, Any]:
+        """Run the protocol for every key of a job and return plain results."""
+        if job_id in self._results:
+            return self._results[job_id]
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise SMPCError(f"no such SMPC job: {job_id!r}")
+        if not job.payloads:
+            raise SMPCError(f"SMPC job {job_id!r} has no imported shares")
+        workers = sorted(job.payloads)
+        keys = list(job.payloads[workers[0]])
+        for worker in workers[1:]:
+            if list(job.payloads[worker]) != keys:
+                raise SMPCError(f"SMPC job {job_id!r}: workers disagree on transfer keys")
+        result: dict[str, Any] = {}
+        for key in keys:
+            operations = {job.payloads[w][key]["operation"] for w in workers}
+            if len(operations) != 1:
+                raise SMPCError(f"SMPC job {job_id!r}, key {key!r}: conflicting operations")
+            operation = operations.pop()
+            flattened = [_flatten(job.payloads[w][key]["data"]) for w in workers]
+            shapes = {f.shape for f in flattened}
+            if len(shapes) != 1:
+                raise SMPCError(f"SMPC job {job_id!r}, key {key!r}: shape mismatch")
+            result[key] = self._aggregate_one(operation, flattened, noise)
+        self._results[job_id] = result
+        del self._jobs[job_id]
+        return result
+
+    def get_result(self, job_id: str) -> dict[str, Any]:
+        """Retrieve a finished result by its global unique identifier."""
+        if job_id not in self._results:
+            raise SMPCError(f"no finished SMPC result for job {job_id!r}")
+        return self._results[job_id]
+
+    def _aggregate_one(
+        self, operation: str, inputs: Sequence[_Flattened], noise: NoiseSpec | None
+    ) -> Any:
+        protocol = self.protocol
+        encoder = protocol.encoder
+        integer_mode = operation == "union"
+        encoded_inputs = []
+        for item in inputs:
+            if integer_mode:
+                elements = [encoder.encode_int(int(round(v))) for v in item.values]
+            else:
+                elements = encoder.encode_vector(item.values)
+            encoded_inputs.append(protocol.input_vector(FieldVector(elements)))
+        if operation == "sum":
+            combined = protocol.sum_inputs(encoded_inputs)
+        elif operation == "product":
+            combined = protocol.product_fixed_point(encoded_inputs)
+        elif operation == "min":
+            combined = protocol.minimum_inputs(encoded_inputs)
+        elif operation == "max":
+            combined = protocol.maximum_inputs(encoded_inputs)
+        elif operation == "union":
+            combined = protocol.union_inputs(encoded_inputs)
+        else:
+            raise SMPCError(f"unsupported SMPC operation {operation!r}")
+        if noise is not None and operation in ("sum",):
+            combined = self._inject_noise(combined, noise, len(inputs[0].values))
+        opened = protocol.open(combined)
+        if integer_mode:
+            values = np.array([encoder.decode_int(e) for e in opened.elements], dtype=np.int64)
+        else:
+            values = encoder.decode_vector(opened.elements)
+        return _unflatten(values, inputs[0].shape, integer_mode)
+
+    def _inject_noise(self, combined, noise: NoiseSpec, length: int):
+        protocol = self.protocol
+        for _ in range(self.n_nodes):
+            partial = noise.partial(self._noise_rng, self.n_nodes, length)
+            encoded = FieldVector(protocol.encoder.encode_vector(partial))
+            combined = protocol.add(combined, protocol.input_vector(encoded))
+        return combined
+
+    # ------------------------------------------------------------- telemetry
+
+    @property
+    def communication(self):
+        return self.protocol.meter
+
+    @property
+    def offline_usage(self):
+        return self.protocol.dealer.usage
+
+
+def _flatten(data: Any) -> _Flattened:
+    if isinstance(data, (int, float, np.integer, np.floating)):
+        return _Flattened([float(data)], None)
+    array = np.asarray(data, dtype=np.float64)
+    return _Flattened([float(v) for v in array.ravel()], array.shape)
+
+
+def _unflatten(values: np.ndarray, shape: tuple[int, ...] | None, integer_mode: bool) -> Any:
+    if shape is None:
+        scalar = values[0]
+        return int(scalar) if integer_mode else float(scalar)
+    reshaped = values.reshape(shape)
+    return reshaped.tolist()

@@ -1,0 +1,143 @@
+"""Arithmetic in the prime field Z_p with p = 2^127 - 1.
+
+All SMPC values are field elements.  The Mersenne prime 2^127 - 1 leaves
+enough headroom for fixed-point encodings of statistics (80 magnitude bits,
+wide enough for second-moment sums over national-scale caseloads) plus the
+statistical-masking bits that secure comparison and truncation need,
+matching the parameter regime of real SPDZ deployments.
+
+Vectors of field elements are plain Python-int lists wrapped in
+:class:`FieldVector`; element width exceeds what int64 numpy arrays can
+multiply without overflow, and correctness beats vectorization here.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import SMPCError
+
+#: The field modulus (Mersenne prime 2^127 - 1).
+PRIME = (1 << 127) - 1
+
+
+def fadd(a: int, b: int) -> int:
+    """Field addition."""
+    return (a + b) % PRIME
+
+
+def fsub(a: int, b: int) -> int:
+    """Field subtraction."""
+    return (a - b) % PRIME
+
+
+def fmul(a: int, b: int) -> int:
+    """Field multiplication."""
+    return (a * b) % PRIME
+
+
+def fneg(a: int) -> int:
+    """Field additive inverse."""
+    return (-a) % PRIME
+
+
+def finv(a: int) -> int:
+    """Field multiplicative inverse (Fermat)."""
+    if a % PRIME == 0:
+        raise SMPCError("zero has no multiplicative inverse")
+    return pow(a, PRIME - 2, PRIME)
+
+
+def fpow(a: int, exponent: int) -> int:
+    """Field exponentiation."""
+    return pow(a, exponent, PRIME)
+
+
+class FieldVector:
+    """A vector of field elements with element-wise operations."""
+
+    __slots__ = ("elements",)
+
+    def __init__(self, elements: Sequence[int]) -> None:
+        self.elements = [int(e) % PRIME for e in elements]
+
+    @classmethod
+    def zeros(cls, length: int) -> "FieldVector":
+        vector = cls.__new__(cls)
+        vector.elements = [0] * length
+        return vector
+
+    @classmethod
+    def random(cls, length: int, rng: random.Random) -> "FieldVector":
+        vector = cls.__new__(cls)
+        vector.elements = [rng.randrange(PRIME) for _ in range(length)]
+        return vector
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.elements)
+
+    def __getitem__(self, index: int) -> int:
+        return self.elements[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FieldVector):
+            return NotImplemented
+        return self.elements == other.elements
+
+    def _check_length(self, other: "FieldVector") -> None:
+        if len(self) != len(other):
+            raise SMPCError(f"length mismatch: {len(self)} vs {len(other)}")
+
+    def __add__(self, other: "FieldVector") -> "FieldVector":
+        self._check_length(other)
+        return FieldVector._raw([(a + b) % PRIME for a, b in zip(self.elements, other.elements)])
+
+    def __sub__(self, other: "FieldVector") -> "FieldVector":
+        self._check_length(other)
+        return FieldVector._raw([(a - b) % PRIME for a, b in zip(self.elements, other.elements)])
+
+    def __mul__(self, other: "FieldVector") -> "FieldVector":
+        self._check_length(other)
+        return FieldVector._raw([(a * b) % PRIME for a, b in zip(self.elements, other.elements)])
+
+    def scale(self, scalar: int) -> "FieldVector":
+        scalar = scalar % PRIME
+        return FieldVector._raw([(a * scalar) % PRIME for a in self.elements])
+
+    def negate(self) -> "FieldVector":
+        return FieldVector._raw([(-a) % PRIME for a in self.elements])
+
+    def add_scalar(self, scalar: int) -> "FieldVector":
+        scalar = scalar % PRIME
+        return FieldVector._raw([(a + scalar) % PRIME for a in self.elements])
+
+    @classmethod
+    def _raw(cls, elements: list[int]) -> "FieldVector":
+        vector = cls.__new__(cls)
+        vector.elements = elements
+        return vector
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        preview = self.elements[:4]
+        suffix = "..." if len(self.elements) > 4 else ""
+        return f"FieldVector({preview}{suffix}, n={len(self)})"
+
+
+def vector_sum(vectors: Iterable[FieldVector]) -> FieldVector:
+    """Element-wise sum of several equal-length vectors."""
+    iterator = iter(vectors)
+    try:
+        total = next(iterator)
+    except StopIteration:
+        raise SMPCError("vector_sum of zero vectors") from None
+    result = list(total.elements)
+    for vector in iterator:
+        if len(vector) != len(result):
+            raise SMPCError("vector_sum length mismatch")
+        for i, value in enumerate(vector.elements):
+            result[i] = (result[i] + value) % PRIME
+    return FieldVector._raw(result)

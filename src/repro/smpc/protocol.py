@@ -1,0 +1,432 @@
+"""The online SMPC protocols: FT (SPDZ-style) and Shamir.
+
+Both protocols expose the same operation set — input, linear ops, Beaver
+multiplication, open, secure comparison (LTZ), min/max folds, and disjoint
+union — over their respective share representations.  A
+:class:`CommunicationMeter` counts rounds and field elements exchanged; the
+E4 benchmark derives the paper's FT-vs-Shamir cost ordering from it and from
+wall-clock time.
+
+Secure comparison uses the statistically-masked-open construction: to test
+``x < 0`` for |x| < 2^L, open ``c = x + 2^L + r`` where ``r`` is a shared
+random of L + kappa bits with bitwise sharings; then ``floor((c-r)/2^L) = C -
+R - u`` with ``C, c'`` public digits of ``c``, ``R`` the linear combination of
+r's high bits, and ``u = BitLT(c', r')`` computed with one secure
+multiplication per bit.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Generic, Sequence, TypeVar
+
+from repro.errors import SMPCError
+from repro.smpc import additive, shamir
+from repro.smpc.encoding import STATISTICAL_BITS, FixedPointEncoder
+from repro.smpc.field import PRIME, FieldVector
+from repro.smpc.triples import TrustedDealer
+
+S = TypeVar("S")
+
+
+@dataclass
+class CommunicationMeter:
+    """Rounds and field elements exchanged during the online phase."""
+
+    rounds: int = 0
+    elements: int = 0
+
+    def record(self, rounds: int, elements: int) -> None:
+        self.rounds += rounds
+        self.elements += elements
+
+    @property
+    def bytes_sent(self) -> int:
+        """Approximate bytes (16 bytes per 127-bit field element)."""
+        return self.elements * 16
+
+    def reset(self) -> None:
+        self.rounds = 0
+        self.elements = 0
+
+
+class Protocol(abc.ABC, Generic[S]):
+    """Common operation set over a share representation ``S``."""
+
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        n_parties: int,
+        dealer: TrustedDealer | None = None,
+        encoder: FixedPointEncoder | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if n_parties < 2:
+            raise SMPCError("SMPC needs at least two computing parties")
+        self.n_parties = n_parties
+        self.dealer = dealer or TrustedDealer(n_parties, seed)
+        if self.dealer.n_parties != n_parties:
+            raise SMPCError("dealer was built for a different party count")
+        self.encoder = encoder or FixedPointEncoder()
+        self.meter = CommunicationMeter()
+        self._rng = random.Random(seed)
+        # Comparison parameters: |operand| must stay below 2^comparison_bits.
+        self.comparison_bits = self.encoder.magnitude_bits + 2
+        self.mask_bits = self.comparison_bits + STATISTICAL_BITS
+        # Truncation parameters: post-multiplication values carry two scale
+        # factors, so the magnitude bound is wider and the statistical slack
+        # narrower (still 2^-28 hiding within the 127-bit field).
+        self.truncation_bits = min(self.comparison_bits + self.encoder.fractional_bits, 98)
+        self.truncation_mask_bits = min(
+            self.truncation_bits + STATISTICAL_BITS, PRIME.bit_length() - 1
+        )
+
+    # ----------------------------------------------------------- primitives
+
+    @abc.abstractmethod
+    def input_vector(self, values: FieldVector) -> S:
+        """Secret-share a vector held by one input party."""
+
+    @abc.abstractmethod
+    def open(self, shared: S) -> FieldVector:
+        """Reveal a shared vector to every party (with MAC check under FT)."""
+
+    @abc.abstractmethod
+    def add(self, a: S, b: S) -> S: ...
+
+    @abc.abstractmethod
+    def sub(self, a: S, b: S) -> S: ...
+
+    @abc.abstractmethod
+    def scale(self, a: S, scalar: int) -> S: ...
+
+    @abc.abstractmethod
+    def add_public(self, a: S, public: FieldVector) -> S: ...
+
+    @abc.abstractmethod
+    def mul(self, a: S, b: S) -> S:
+        """Beaver multiplication (consumes one triple, two masked opens)."""
+
+    @abc.abstractmethod
+    def _random_bits(self, count: int) -> S:
+        """Dealer-supplied shared random bits."""
+
+    @abc.abstractmethod
+    def _length(self, shared: S) -> int: ...
+
+    @abc.abstractmethod
+    def _take_bit_columns(self, bits: S, length: int, n_bits: int) -> list[S]:
+        """Reshape a flat bit sharing into per-bit-position vectors."""
+
+    # ------------------------------------------------------------ aggregates
+
+    def sum_inputs(self, inputs: Sequence[S]) -> S:
+        """Element-wise sum of several parties' shared vectors (linear)."""
+        if not inputs:
+            raise SMPCError("sum of zero inputs")
+        total = inputs[0]
+        for item in inputs[1:]:
+            total = self.add(total, item)
+        return total
+
+    def product_inputs(self, inputs: Sequence[S]) -> S:
+        """Element-wise product fold (one Beaver mult per extra input)."""
+        if not inputs:
+            raise SMPCError("product of zero inputs")
+        total = inputs[0]
+        for item in inputs[1:]:
+            total = self.mul(total, item)
+        return total
+
+    def ltz(self, x: S) -> S:
+        """Element-wise [x < 0] as a shared 0/1 vector.
+
+        Operands must be bounded: |x| < 2^comparison_bits (guaranteed for
+        fixed-point encoded values and their pairwise differences).
+        """
+        length = self._length(x)
+        n_bits = self.mask_bits
+        flat_bits = self._random_bits(length * n_bits)
+        bit_columns = self._take_bit_columns(flat_bits, length, n_bits)
+        # r = sum 2^i b_i ; r_low = low L bits ; R_high = high bits value.
+        r = self._weighted_bit_sum(bit_columns, 0, n_bits, shift=0)
+        shift = 1 << self.comparison_bits
+        # c = x + 2^L + r, opened (statistically masked).
+        masked = self.add_public(self.add(x, r), _constant_vector(shift, length))
+        c_public = self.open(masked)
+        c_low = [c % shift for c in c_public.elements]
+        c_high = [c // shift for c in c_public.elements]
+        # u = [c_low < r_low] via BitLT with public c bits.
+        u = self._bit_lt(c_low, bit_columns[: self.comparison_bits])
+        r_high = self._weighted_bit_sum(
+            bit_columns, self.comparison_bits, n_bits, shift=self.comparison_bits
+        )
+        # floor((c - r)/2^L) = C - R_high - u  in {0, 1};  x >= 0  <=>  1.
+        sign = self.add_public(
+            self.sub(self.scale(r_high, PRIME - 1), u), FieldVector(c_high)
+        )
+        # ltz = 1 - sign
+        return self.add_public(self.scale(sign, PRIME - 1), _constant_vector(1, length))
+
+    def _weighted_bit_sum(self, bit_columns: list[S], start: int, stop: int, shift: int) -> S:
+        total: S | None = None
+        for i in range(start, stop):
+            term = self.scale(bit_columns[i], 1 << (i - shift))
+            total = term if total is None else self.add(total, term)
+        assert total is not None
+        return total
+
+    def _bit_lt(self, public_values: list[int], bit_columns: list[S]) -> S:
+        """[public < shared] where both are L-bit integers, LSB first bits.
+
+        Recurrence from LSB to MSB: lt = r_i(1 - c_i) + (1 - xor_i) * lt.
+        With c_i public, ``xor_i`` and ``r_i (1-c_i)`` are share-linear; only
+        ``xor_i * lt`` needs a Beaver multiplication — one per bit.
+        """
+        length = len(public_values)
+        lt: S | None = None
+        for i, r_bits in enumerate(bit_columns):
+            c_bits = [(v >> i) & 1 for v in public_values]
+            c_vec = FieldVector(c_bits)
+            # xor = c + r - 2cr ; with c public: xor = c + (1-2c) * r
+            one_minus_2c = FieldVector([(1 - 2 * c) % PRIME for c in c_bits])
+            xor = self.add_public(self._scale_by_vector(r_bits, one_minus_2c), c_vec)
+            # base = r * (1 - c)
+            base = self._scale_by_vector(r_bits, FieldVector([(1 - c) % PRIME for c in c_bits]))
+            if lt is None:
+                lt = base
+            else:
+                keep = self.sub(lt, self.mul(xor, lt))
+                lt = self.add(base, keep)
+        assert lt is not None
+        return lt
+
+    @abc.abstractmethod
+    def _scale_by_vector(self, a: S, public: FieldVector) -> S:
+        """Element-wise product with a public vector (local operation)."""
+
+    def truncate(self, x: S, fractional_bits: int | None = None) -> S:
+        """Secure floor division by 2^f (fixed-point rescaling after a
+        multiplication).
+
+        Standard masked-open truncation: open ``c = x + 2^L + r`` with a
+        bitwise-shared statistical mask ``r``; then
+        ``floor((c - r)/2^f) = (c >> f) - [r >> f] - [c mod 2^f < r mod 2^f]``
+        is share-linear except for one BitLT (f Beaver multiplications).
+        Exact floor semantics, so each truncation costs at most one unit of
+        the fixed-point resolution.
+        """
+        f = self.encoder.fractional_bits if fractional_bits is None else fractional_bits
+        length = self._length(x)
+        L = self.truncation_bits
+        n_bits = self.truncation_mask_bits
+        flat_bits = self._random_bits(length * n_bits)
+        bit_columns = self._take_bit_columns(flat_bits, length, n_bits)
+        r = self._weighted_bit_sum(bit_columns, 0, n_bits, shift=0)
+        shift = 1 << L
+        masked = self.add_public(self.add(x, r), _constant_vector(shift, length))
+        c_public = self.open(masked)
+        step = 1 << f
+        c_low = [c % step for c in c_public.elements]
+        c_high = FieldVector([c // step for c in c_public.elements])
+        u = self._bit_lt(c_low, bit_columns[:f])
+        r_high = self._weighted_bit_sum(bit_columns, f, n_bits, shift=f)
+        floored = self.add_public(
+            self.sub(self.scale(r_high, PRIME - 1), u), c_high
+        )
+        # remove the 2^(L-f) offset introduced by the positivity shift
+        return self.add_public(floored, _constant_vector(PRIME - (1 << (L - f)), length))
+
+    def mul_fixed_point(self, a: S, b: S) -> S:
+        """Multiply two fixed-point sharings and rescale back to one scale."""
+        return self.truncate(self.mul(a, b))
+
+    def product_fixed_point(self, inputs: Sequence[S]) -> S:
+        """Element-wise fixed-point product fold with per-step truncation."""
+        if not inputs:
+            raise SMPCError("product of zero inputs")
+        total = inputs[0]
+        for item in inputs[1:]:
+            total = self.mul_fixed_point(total, item)
+        return total
+
+    def minimum_inputs(self, inputs: Sequence[S]) -> S:
+        """Element-wise minimum fold: min(a,b) = b + [a<b] * (a - b)."""
+        if not inputs:
+            raise SMPCError("minimum of zero inputs")
+        result = inputs[0]
+        for item in inputs[1:]:
+            less = self.ltz(self.sub(result, item))  # [result < item]
+            result = self.add(item, self.mul(less, self.sub(result, item)))
+        return result
+
+    def maximum_inputs(self, inputs: Sequence[S]) -> S:
+        """Element-wise maximum fold: max(a,b) = a + [a<b] * (b - a)."""
+        if not inputs:
+            raise SMPCError("maximum of zero inputs")
+        result = inputs[0]
+        for item in inputs[1:]:
+            less = self.ltz(self.sub(result, item))
+            result = self.add(result, self.mul(less, self.sub(item, result)))
+        return result
+
+    def union_inputs(self, inputs: Sequence[S]) -> S:
+        """Disjoint union of 0/1 membership vectors: [sum >= 1]."""
+        total = self.sum_inputs(inputs)
+        length = self._length(total)
+        # sum >= 1  <=>  not (sum - 1 < 0)
+        shifted = self.add_public(total, _constant_vector(PRIME - 1, length))
+        below = self.ltz(shifted)
+        return self.add_public(self.scale(below, PRIME - 1), _constant_vector(1, length))
+
+
+def _constant_vector(value: int, length: int) -> FieldVector:
+    return FieldVector([value % PRIME] * length)
+
+
+# ------------------------------------------------------------------------ FT
+
+
+class FTProtocol(Protocol[additive.AdditiveShared]):
+    """Full-threshold SPDZ-style protocol: secure with abort against an
+    active-malicious majority, at the cost of MACs on every share and MAC
+    checks (extra rounds) on every open."""
+
+    name = "full_threshold"
+
+    def input_vector(self, values: FieldVector) -> additive.AdditiveShared:
+        shared = additive.share_vector(values, self.n_parties, self.dealer.alpha, self._rng)
+        # Input sharing: the input party sends one share (+MAC) to each party.
+        self.meter.record(rounds=1, elements=2 * self.n_parties * len(values))
+        return shared
+
+    def open(self, shared: additive.AdditiveShared) -> FieldVector:
+        opened = additive.reconstruct(shared)
+        additive.check_macs(shared, opened, self.dealer.alpha_shares)
+        # Broadcast of shares + MAC-check commit and open rounds.
+        self.meter.record(rounds=3, elements=3 * self.n_parties * len(opened))
+        return opened
+
+    def add(self, a, b):
+        return additive.add(a, b)
+
+    def sub(self, a, b):
+        return additive.sub(a, b)
+
+    def scale(self, a, scalar: int):
+        return additive.scale(a, scalar)
+
+    def add_public(self, a, public: FieldVector):
+        return additive.add_public(a, public, self.dealer.alpha_shares)
+
+    def _scale_by_vector(self, a, public: FieldVector):
+        return additive.AdditiveShared(
+            [s * public for s in a.shares], [m * public for m in a.macs]
+        )
+
+    def mul(self, a, b):
+        length = len(a.shares[0])
+        triple = self.dealer.additive_triple(length)
+        d = self.open(self.sub(a, triple.a))
+        e = self.open(self.sub(b, triple.b))
+        # z = c + d*b + e*a + d*e
+        term_db = self._scale_by_vector(triple.b, d)
+        term_ea = self._scale_by_vector(triple.a, e)
+        z = additive.add(additive.add(triple.c, term_db), term_ea)
+        return self.add_public(z, d * e)
+
+    def _random_bits(self, count: int) -> additive.AdditiveShared:
+        return self.dealer.additive_random_bits(count)
+
+    def _length(self, shared: additive.AdditiveShared) -> int:
+        return len(shared)
+
+    def _take_bit_columns(self, bits, length: int, n_bits: int):
+        columns = []
+        for i in range(n_bits):
+            idx = [j * n_bits + i for j in range(length)]
+            columns.append(
+                additive.AdditiveShared(
+                    [FieldVector([s.elements[k] for k in idx]) for s in bits.shares],
+                    [FieldVector([m.elements[k] for k in idx]) for m in bits.macs],
+                )
+            )
+        return columns
+
+
+# -------------------------------------------------------------------- Shamir
+
+
+class ShamirProtocol(Protocol[shamir.ShamirShared]):
+    """Shamir-sharing protocol (t < n/2): fast, honest-but-curious."""
+
+    name = "shamir"
+
+    def __init__(
+        self,
+        n_parties: int,
+        threshold: int | None = None,
+        dealer: TrustedDealer | None = None,
+        encoder: FixedPointEncoder | None = None,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(n_parties, dealer, encoder, seed)
+        self.threshold = threshold if threshold is not None else shamir.default_threshold(n_parties)
+        if not self.threshold < n_parties / 2:
+            raise SMPCError("Shamir multiplication needs t < n/2")
+
+    def input_vector(self, values: FieldVector) -> shamir.ShamirShared:
+        shared = shamir.share_vector(values, self.n_parties, self.threshold, self._rng)
+        self.meter.record(rounds=1, elements=self.n_parties * len(values))
+        return shared
+
+    def open(self, shared: shamir.ShamirShared) -> FieldVector:
+        opened = shamir.reconstruct(shared)
+        self.meter.record(rounds=1, elements=self.n_parties * len(opened))
+        return opened
+
+    def add(self, a, b):
+        return shamir.add(a, b)
+
+    def sub(self, a, b):
+        return shamir.sub(a, b)
+
+    def scale(self, a, scalar: int):
+        return shamir.scale(a, scalar)
+
+    def add_public(self, a, public: FieldVector):
+        return shamir.add_public(a, public)
+
+    def _scale_by_vector(self, a, public: FieldVector):
+        return shamir.ShamirShared([s * public for s in a.shares], a.threshold)
+
+    def mul(self, a, b):
+        length = len(a.shares[0])
+        triple = self.dealer.shamir_triple(length, self.threshold)
+        d = self.open(shamir.sub(a, triple.a))
+        e = self.open(shamir.sub(b, triple.b))
+        term_db = self._scale_by_vector(triple.b, d)
+        term_ea = self._scale_by_vector(triple.a, e)
+        z = shamir.add(shamir.add(triple.c, term_db), term_ea)
+        return shamir.add_public(z, d * e)
+
+    def _random_bits(self, count: int) -> shamir.ShamirShared:
+        return self.dealer.shamir_random_bits(count, self.threshold)
+
+    def _length(self, shared: shamir.ShamirShared) -> int:
+        return len(shared)
+
+    def _take_bit_columns(self, bits, length: int, n_bits: int):
+        columns = []
+        for i in range(n_bits):
+            idx = [j * n_bits + i for j in range(length)]
+            columns.append(
+                shamir.ShamirShared(
+                    [FieldVector([s.elements[k] for k in idx]) for s in bits.shares],
+                    bits.threshold,
+                )
+            )
+        return columns

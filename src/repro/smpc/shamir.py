@@ -1,0 +1,169 @@
+"""Shamir secret sharing over Z_p (the fast, honest-but-curious scheme).
+
+A secret is the constant term of a random degree-t polynomial; party i holds
+the evaluation at x = i + 1.  Any t+1 shares reconstruct via Lagrange
+interpolation; t or fewer reveal nothing.  The paper deploys this scheme with
+``t < n/2, t >= n/3`` as the fast option.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import SMPCError, ThresholdError
+from repro.smpc.field import PRIME, FieldVector, finv
+
+
+@dataclass
+class ShamirShared:
+    """A Shamir-shared vector: party i holds evaluations at point i+1."""
+
+    shares: list[FieldVector]
+    threshold: int
+
+    def __post_init__(self) -> None:
+        lengths = {len(s) for s in self.shares}
+        if len(lengths) != 1:
+            raise SMPCError("ragged Shamir sharing")
+        if not 0 < self.threshold < len(self.shares):
+            raise SMPCError(
+                f"invalid threshold t={self.threshold} for n={len(self.shares)} parties"
+            )
+
+    @property
+    def n_parties(self) -> int:
+        return len(self.shares)
+
+    def __len__(self) -> int:
+        return len(self.shares[0])
+
+
+def default_threshold(n_parties: int) -> int:
+    """The paper's setting: the largest t with t < n/2 (and t >= n/3 when possible)."""
+    return max(1, (n_parties - 1) // 2)
+
+
+def share_vector(
+    vector: FieldVector, n_parties: int, threshold: int, rng: random.Random
+) -> ShamirShared:
+    """Share each element with an independent random degree-t polynomial."""
+    if threshold >= n_parties:
+        raise SMPCError("threshold must be below the party count")
+    shares = [FieldVector.zeros(len(vector)) for _ in range(n_parties)]
+    for index, secret in enumerate(vector.elements):
+        coefficients = [secret] + [rng.randrange(PRIME) for _ in range(threshold)]
+        for party in range(n_parties):
+            shares[party].elements[index] = _poly_eval(coefficients, party + 1)
+    return ShamirShared(shares, threshold)
+
+
+def _poly_eval(coefficients: Sequence[int], x: int) -> int:
+    result = 0
+    for coefficient in reversed(coefficients):
+        result = (result * x + coefficient) % PRIME
+    return result
+
+
+def lagrange_coefficients_at_zero(points: Sequence[int]) -> list[int]:
+    """Lagrange basis coefficients evaluating the polynomial at x = 0."""
+    coefficients = []
+    for i, xi in enumerate(points):
+        numerator = 1
+        denominator = 1
+        for j, xj in enumerate(points):
+            if i == j:
+                continue
+            numerator = (numerator * (-xj)) % PRIME
+            denominator = (denominator * (xi - xj)) % PRIME
+        coefficients.append((numerator * finv(denominator)) % PRIME)
+    return coefficients
+
+
+def reconstruct(shared: ShamirShared, degree: int | None = None) -> FieldVector:
+    """Interpolate the secret vector from the first ``degree + 1`` shares.
+
+    ``degree`` defaults to the sharing threshold; after one local
+    multiplication the underlying polynomial has degree ``2t`` and callers
+    pass ``degree=2t`` (requires ``2t + 1 <= n``, i.e. t < n/2).
+    """
+    degree = shared.threshold if degree is None else degree
+    needed = degree + 1
+    if needed > shared.n_parties:
+        raise ThresholdError(
+            f"need {needed} shares to reconstruct a degree-{degree} sharing, "
+            f"have {shared.n_parties}"
+        )
+    points = list(range(1, needed + 1))
+    coefficients = lagrange_coefficients_at_zero(points)
+    length = len(shared)
+    result = [0] * length
+    for coefficient, share in zip(coefficients, shared.shares[:needed]):
+        for index in range(length):
+            result[index] = (result[index] + coefficient * share.elements[index]) % PRIME
+    return FieldVector(result)
+
+
+def reconstruct_from_subset(
+    shares: Sequence[tuple[int, FieldVector]], threshold: int
+) -> FieldVector:
+    """Reconstruct from an explicit subset of (party_index, share) pairs."""
+    if len(shares) < threshold + 1:
+        raise ThresholdError(
+            f"need {threshold + 1} shares, have {len(shares)}"
+        )
+    chosen = list(shares[: threshold + 1])
+    points = [party + 1 for party, _ in chosen]
+    coefficients = lagrange_coefficients_at_zero(points)
+    length = len(chosen[0][1])
+    result = [0] * length
+    for coefficient, (_, share) in zip(coefficients, chosen):
+        for index in range(length):
+            result[index] = (result[index] + coefficient * share.elements[index]) % PRIME
+    return FieldVector(result)
+
+
+# --------------------------------------------------- local (linear) operators
+
+
+def add(a: ShamirShared, b: ShamirShared) -> ShamirShared:
+    """Share-wise addition (local, no communication)."""
+    _check_compatible(a, b)
+    return ShamirShared([x + y for x, y in zip(a.shares, b.shares)], a.threshold)
+
+
+def sub(a: ShamirShared, b: ShamirShared) -> ShamirShared:
+    """Share-wise subtraction (local)."""
+    _check_compatible(a, b)
+    return ShamirShared([x - y for x, y in zip(a.shares, b.shares)], a.threshold)
+
+
+def scale(a: ShamirShared, scalar: int) -> ShamirShared:
+    """Multiply by a public scalar (local)."""
+    return ShamirShared([x.scale(scalar) for x in a.shares], a.threshold)
+
+
+def add_public(a: ShamirShared, public: FieldVector) -> ShamirShared:
+    """Adding a constant shifts every party's share (poly + c)."""
+    return ShamirShared([x + public for x in a.shares], a.threshold)
+
+
+def multiply_local(a: ShamirShared, b: ShamirShared) -> ShamirShared:
+    """Share-wise product: a valid sharing of a*b at degree 2t.
+
+    The result must be reconstructed with ``degree=2t`` or degree-reduced; it
+    is how one final multiplication before an open is done cheaply.
+    """
+    _check_compatible(a, b)
+    return ShamirShared([x * y for x, y in zip(a.shares, b.shares)], a.threshold)
+
+
+def public_to_shared(public: FieldVector, n_parties: int, threshold: int) -> ShamirShared:
+    """Deterministic (zero-polynomial) sharing of a public constant."""
+    return ShamirShared([FieldVector(list(public.elements)) for _ in range(n_parties)], threshold)
+
+
+def _check_compatible(a: ShamirShared, b: ShamirShared) -> None:
+    if a.n_parties != b.n_parties or a.threshold != b.threshold:
+        raise SMPCError("incompatible Shamir sharings")

@@ -1,0 +1,58 @@
+"""UDFGenerator: JIT-translate procedural Python into SQL UDF applications.
+
+The paper (§2, *UDFGenerator*): "UDFGenerator follows a UDF-to-SQL approach
+and JIT translates the procedural Python code to semantically equal
+declarative SQL code.  To deal with the dynamic Python types, the Python
+functions are wrapped with a decorator that specifies their input/output
+types.  SQL loopback queries, which enable executing SQL in a Python UDF,
+handle the multiple inputs and outputs of a Python function."
+
+This package provides exactly that pipeline:
+
+1. the algorithm developer decorates a plain Python function with ``@udf``
+   and typed input/output markers (:mod:`repro.udfgen.iotypes`),
+2. :func:`repro.udfgen.generator.generate_udf_application` turns one call of
+   that function into SQL — a ``CREATE FUNCTION ... LANGUAGE PYTHON`` whose
+   body embeds the function source plus serialization glue, the output
+   ``CREATE TABLE`` statements, and the driving ``INSERT INTO ... SELECT``,
+3. the engine executes the statements; secondary outputs are written through
+   loopback queries from inside the UDF body.
+"""
+
+from repro.udfgen.decorators import UDFSpec, udf, udf_registry
+from repro.udfgen.generator import (
+    FusionStep,
+    StepOutput,
+    UDFApplication,
+    generate_fused_application,
+    generate_udf_application,
+    run_udf_application,
+)
+from repro.udfgen.iotypes import (
+    literal,
+    merge_transfer,
+    relation,
+    secure_transfer,
+    state,
+    tensor,
+    transfer,
+)
+
+__all__ = [
+    "FusionStep",
+    "StepOutput",
+    "UDFApplication",
+    "UDFSpec",
+    "generate_fused_application",
+    "generate_udf_application",
+    "literal",
+    "merge_transfer",
+    "relation",
+    "run_udf_application",
+    "secure_transfer",
+    "state",
+    "tensor",
+    "transfer",
+    "udf",
+    "udf_registry",
+]

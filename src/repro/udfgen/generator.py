@@ -1,0 +1,418 @@
+"""Translate one call of a ``@udf`` function into SQL statements.
+
+The generated artifact is a :class:`UDFApplication`:
+
+- one ``CREATE OR REPLACE FUNCTION ... LANGUAGE PYTHON { ... }`` whose body
+  embeds the user function's source plus the serialization glue,
+- ``CREATE TABLE`` statements for every output,
+- the driving ``INSERT INTO <main output> SELECT * FROM <function>()``.
+
+Relational, state, and transfer inputs are read *inside the UDF body* via
+SQL loopback queries; secondary outputs are written back via loopback
+INSERTs — exactly the mechanism the paper attributes to the UDFGenerator.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.engine.database import Database
+from repro.errors import UDFError
+from repro.udfgen.decorators import UDFSpec
+from repro.udfgen.iotypes import (
+    IOType,
+    LiteralType,
+    MergeTransferType,
+    RelationType,
+    SecureTransferType,
+    StateType,
+    TensorType,
+    TransferType,
+    output_schema,
+)
+
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z_0-9]*\Z")
+
+
+@dataclass(frozen=True)
+class TableArg:
+    """A relational argument: a table name or a full SELECT query."""
+
+    query: str
+
+    @classmethod
+    def of(cls, name_or_query: str) -> "TableArg":
+        text = name_or_query.strip()
+        if _IDENTIFIER_RE.match(text):
+            return cls(f"SELECT * FROM {text}")
+        return cls(text)
+
+
+@dataclass(frozen=True)
+class UDFApplication:
+    """The SQL artifact of one UDF call, ready to execute on a node."""
+
+    function_name: str
+    definition_sql: str
+    create_output_sql: tuple[str, ...]
+    execute_sql: str
+    output_tables: tuple[str, ...]
+    output_kinds: tuple[IOType, ...]
+
+    @property
+    def statements(self) -> list[str]:
+        return [self.definition_sql, *self.create_output_sql, self.execute_sql]
+
+
+def generate_udf_application(
+    spec: UDFSpec,
+    job_id: str,
+    arguments: Mapping[str, Any],
+    output_prefix: str | None = None,
+    stateful: bool = True,
+) -> UDFApplication:
+    """Emit the SQL for one application of ``spec`` with bound arguments.
+
+    ``arguments`` maps parameter names to:
+
+    - a table name / SELECT string (``relation``, ``tensor``, ``state``,
+      ``transfer`` inputs),
+    - a list of table names (``merge_transfer``),
+    - any JSON-representable Python value (``literal``).
+
+    ``stateful`` enables session-cache reuse of state objects (the paper's
+    roadmap item "stateful Python UDF execution"): a state produced by one
+    step is handed to the next without a pickle round trip.  Disable for
+    the E9 ablation.
+    """
+    missing = [name for name in spec.input_names if name not in arguments]
+    if missing:
+        raise UDFError(f"UDF {spec.name!r}: missing arguments {missing}")
+    unknown = [name for name in arguments if name not in spec.input_names]
+    if unknown:
+        raise UDFError(f"UDF {spec.name!r}: unknown arguments {unknown}")
+    if not spec.source:
+        raise UDFError(f"UDF {spec.name!r}: source is unavailable; cannot generate SQL")
+
+    function_name = _sanitize(f"{spec.name}_{job_id}")
+    prefix = output_prefix or f"{function_name}_out"
+    output_tables = tuple(f"{prefix}_{i}" for i in range(len(spec.outputs)))
+
+    body = _generate_body(spec, arguments, output_tables, stateful)
+    main_schema = output_schema(spec.outputs[0])
+    returns = ", ".join(f"{name} {sql_type.value}" for name, sql_type in main_schema)
+    definition_sql = (
+        f"CREATE OR REPLACE FUNCTION {function_name}() "
+        f"RETURNS TABLE({returns}) LANGUAGE PYTHON {{\n{body}\n}}"
+    )
+    create_output_sql = []
+    for table_name, iotype in zip(output_tables, spec.outputs):
+        schema = output_schema(iotype)
+        columns = ", ".join(f"{name} {sql_type.value}" for name, sql_type in schema)
+        create_output_sql.append(f"CREATE TABLE {table_name} ({columns})")
+    execute_sql = f"INSERT INTO {output_tables[0]} SELECT * FROM {function_name}()"
+    return UDFApplication(
+        function_name=function_name,
+        definition_sql=definition_sql,
+        create_output_sql=tuple(create_output_sql),
+        execute_sql=execute_sql,
+        output_tables=output_tables,
+        output_kinds=spec.outputs,
+    )
+
+
+def run_udf_application(database: Database, application: UDFApplication) -> tuple[str, ...]:
+    """Execute a generated application on a node's database."""
+    for sql in application.statements:
+        database.execute(sql)
+    return application.output_tables
+
+
+# ----------------------------------------------------------- body generation
+
+
+def _generate_body(
+    spec: UDFSpec,
+    arguments: Mapping[str, Any],
+    output_tables: Sequence[str],
+    stateful: bool = True,
+) -> str:
+    lines: list[str] = [
+        "import numpy as np",
+        "from repro.udfgen import runtime as _rt",
+        "from repro.udfgen import udf_helpers as _h  # noqa: F401 (used by UDF bodies)",
+        "",
+    ]
+    lines.extend(spec.source.splitlines())
+    lines.append("")
+    call_args: list[str] = []
+    for pname, iotype in spec.inputs:
+        value = arguments[pname]
+        lines.extend(_bind_input(pname, iotype, value, stateful=stateful))
+        call_args.append(f"{pname}=__arg_{pname}")
+    lines.append(f"__result = {spec.func.__name__}({', '.join(call_args)})")
+    if len(spec.outputs) == 1:
+        lines.append("__outputs = (__result,)")
+    else:
+        lines.append("__outputs = __result if isinstance(__result, tuple) else (__result,)")
+    lines.append(f"if len(__outputs) != {len(spec.outputs)}:")
+    lines.append(
+        f"    raise ValueError('UDF {spec.func.__name__} returned %d outputs, "
+        f"declared {len(spec.outputs)}' % len(__outputs))"
+    )
+    # Secondary outputs through loopback INSERTs.
+    for index, (iotype, table) in enumerate(zip(spec.outputs, output_tables)):
+        if index == 0:
+            continue
+        lines.extend(_emit_secondary(index, iotype, table))
+        if stateful and isinstance(iotype, StateType):
+            lines.append(f"_cache[{table!r}] = __outputs[{index}]")
+    if stateful and isinstance(spec.outputs[0], StateType):
+        lines.append(f"_cache[{output_tables[0]!r}] = __outputs[0]")
+    lines.extend(_emit_main(spec.outputs[0]))
+    return "\n".join(lines)
+
+
+def _bind_input(
+    pname: str, iotype: IOType, value: Any, prefix: str = "", stateful: bool = True
+) -> list[str]:
+    target = f"__arg_{prefix}{pname}"
+    local = f"__t_{prefix}{pname}"
+    if isinstance(iotype, LiteralType):
+        return [f"{target} = {value!r}"]
+    if isinstance(iotype, RelationType):
+        query = TableArg.of(str(value)).query
+        return [
+            f"{local} = _conn.execute_table({query!r})",
+            f"{target} = _rt.Relation({{s.name: {local}.column(s.name).to_numpy() "
+            f"for s in {local}.schema}})",
+        ]
+    if isinstance(iotype, TensorType):
+        query = TableArg.of(str(value)).query
+        return [
+            f"{local} = _conn.execute({query!r})",
+            f"{target} = _rt.columns_to_tensor({local})",
+        ]
+    if isinstance(iotype, StateType):
+        query = TableArg.of(str(value)).query
+        lines = []
+        if stateful:
+            # Stateful execution: reuse the live object when this session
+            # produced the state; fall back to deserialization otherwise.
+            lines.append(f"{target} = _cache.get({str(value)!r})")
+            lines.append(f"if {target} is None:")
+            lines.append(f"    {local} = _conn.execute({query!r})")
+            lines.append(f"    {target} = _rt.deserialize_state({local}['state'][0])")
+            return lines
+        return [
+            f"{local} = _conn.execute({query!r})",
+            f"{target} = _rt.deserialize_state({local}['state'][0])",
+        ]
+    if isinstance(iotype, TransferType):
+        query = TableArg.of(str(value)).query
+        return [
+            f"{local} = _conn.execute({query!r})",
+            f"{target} = _rt.deserialize_transfer({local}['transfer'][0])",
+        ]
+    if isinstance(iotype, MergeTransferType):
+        if not isinstance(value, (list, tuple)):
+            raise UDFError(f"merge_transfer argument {pname!r} must be a list of tables")
+        queries = [TableArg.of(str(v)).query for v in value]
+        lines = [f"{target} = []"]
+        for query in queries:
+            lines.append(f"__m = _conn.execute({query!r})")
+            lines.append(f"{target}.append(_rt.deserialize_transfer(__m['transfer'][0]))")
+        return lines
+    raise UDFError(f"unsupported input kind {type(iotype).__name__}")
+
+
+def _emit_secondary(index: int, iotype: IOType, table: str) -> list[str]:
+    if isinstance(iotype, StateType):
+        return [
+            f"__blob_{index} = _rt.serialize_state(__outputs[{index}])",
+            f"_conn.execute('INSERT INTO {table} VALUES (' + _rt.sql_quote(__blob_{index}) + ')')",
+        ]
+    if isinstance(iotype, TransferType):
+        return [
+            f"__blob_{index} = _rt.serialize_transfer(__outputs[{index}])",
+            f"_conn.execute('INSERT INTO {table} VALUES (' + _rt.sql_quote(__blob_{index}) + ')')",
+        ]
+    if isinstance(iotype, SecureTransferType):
+        return [
+            f"__sec_{index} = _rt.validate_secure_transfer(__outputs[{index}])",
+            f"__blob_{index} = _rt.serialize_transfer(__sec_{index})",
+            f"_conn.execute('INSERT INTO {table} VALUES (' + _rt.sql_quote(__blob_{index}) + ')')",
+        ]
+    if isinstance(iotype, TensorType):
+        return [
+            f"__cols_{index} = _rt.tensor_to_columns(np.asarray(__outputs[{index}]))",
+            f"__n_{index} = len(__cols_{index}['val'])",
+            f"for __i in range(__n_{index}):",
+            f"    __vals = ', '.join(_rt.sql_quote(__cols_{index}[k][__i]) "
+            f"for k in __cols_{index})",
+            f"    _conn.execute('INSERT INTO {table} VALUES (' + __vals + ')')",
+        ]
+    if isinstance(iotype, RelationType):
+        names = [name for name, _ in (iotype.schema or ())]
+        return [
+            f"__rel_{index} = __outputs[{index}]",
+            f"for __i in range(len(__rel_{index}[{names[0]!r}])):",
+            f"    __vals = ', '.join(_rt.sql_quote(__rel_{index}[k][__i]) for k in {names!r})",
+            f"    _conn.execute('INSERT INTO {table} VALUES (' + __vals + ')')",
+        ]
+    raise UDFError(f"unsupported output kind {type(iotype).__name__}")
+
+
+def _emit_main(iotype: IOType) -> list[str]:
+    if isinstance(iotype, StateType):
+        return [
+            "return {'state': np.array([_rt.serialize_state(__outputs[0])], dtype=object)}"
+        ]
+    if isinstance(iotype, TransferType):
+        return [
+            "return {'transfer': np.array([_rt.serialize_transfer(__outputs[0])], dtype=object)}"
+        ]
+    if isinstance(iotype, SecureTransferType):
+        return [
+            "__sec_main = _rt.validate_secure_transfer(__outputs[0])",
+            "return {'secure_transfer': "
+            "np.array([_rt.serialize_transfer(__sec_main)], dtype=object)}",
+        ]
+    if isinstance(iotype, TensorType):
+        return ["return _rt.tensor_to_columns(np.asarray(__outputs[0]))"]
+    if isinstance(iotype, RelationType):
+        names = [name for name, _ in (iotype.schema or ())]
+        return [f"return {{k: np.asarray(__outputs[0][k]) for k in {names!r}}}"]
+    raise UDFError(f"unsupported output kind {type(iotype).__name__}")
+
+
+def _sanitize(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_]", "_", name)
+
+
+# ------------------------------------------------------------------- fusion
+
+
+@dataclass(frozen=True)
+class StepOutput:
+    """Placeholder argument: output ``output_index`` of fused step ``step_index``.
+
+    Inside a fused application the referenced value is passed as a live
+    Python object — no serialization, no intermediate table.
+    """
+
+    step_index: int
+    output_index: int = 0
+
+
+@dataclass(frozen=True)
+class FusionStep:
+    """One step of a fused pipeline: a UDF spec plus its bound arguments."""
+
+    spec: UDFSpec
+    arguments: Mapping[str, Any]
+
+
+def generate_fused_application(
+    steps: Sequence[FusionStep],
+    job_id: str,
+    output_prefix: str | None = None,
+) -> UDFApplication:
+    """Fuse a chain of local steps into a single SQL UDF application.
+
+    The paper's roadmap cites "UDF fusion": consecutive computation steps
+    whose intermediate results never feed SQL can execute as one UDF,
+    eliminating intermediate tables and the (de)serialization between steps.
+    Only the *final* step's outputs are materialized; earlier outputs exist
+    solely as Python objects inside the fused body.
+
+    Later steps reference earlier results with :class:`StepOutput`
+    placeholders; all other argument kinds behave as in
+    :func:`generate_udf_application`.
+    """
+    if not steps:
+        raise UDFError("cannot fuse zero steps")
+    for index, step in enumerate(steps):
+        if not step.spec.source:
+            raise UDFError(f"fused step {index}: source is unavailable")
+        missing = [n for n in step.spec.input_names if n not in step.arguments]
+        if missing:
+            raise UDFError(f"fused step {index} ({step.spec.name}): missing {missing}")
+    final = steps[-1].spec
+    function_name = _sanitize(f"{final.name}_fused{len(steps)}_{job_id}")
+    prefix = output_prefix or f"{function_name}_out"
+    output_tables = tuple(f"{prefix}_{i}" for i in range(len(final.outputs)))
+
+    lines: list[str] = [
+        "import numpy as np",
+        "from repro.udfgen import runtime as _rt",
+        "from repro.udfgen import udf_helpers as _h  # noqa: F401 (used by UDF bodies)",
+        "",
+    ]
+    embedded: set[str] = set()
+    for step in steps:
+        if step.spec.name not in embedded:
+            embedded.add(step.spec.name)
+            lines.extend(step.spec.source.splitlines())
+            lines.append("")
+    for index, step in enumerate(steps):
+        call_args: list[str] = []
+        for pname, iotype in step.spec.inputs:
+            value = step.arguments[pname]
+            target = f"__arg_s{index}_{pname}"
+            if isinstance(value, StepOutput):
+                if value.step_index >= index:
+                    raise UDFError(
+                        f"fused step {index}: StepOutput must reference an earlier step"
+                    )
+                lines.append(
+                    f"{target} = __outputs_{value.step_index}[{value.output_index}]"
+                )
+            else:
+                lines.extend(_bind_input(pname, iotype, value, prefix=f"s{index}_"))
+            call_args.append(f"{pname}={target}")
+        lines.append(
+            f"__result_{index} = {step.spec.func.__name__}({', '.join(call_args)})"
+        )
+        if len(step.spec.outputs) == 1:
+            lines.append(f"__outputs_{index} = (__result_{index},)")
+        else:
+            lines.append(
+                f"__outputs_{index} = __result_{index} "
+                f"if isinstance(__result_{index}, tuple) else (__result_{index},)"
+            )
+    lines.append(f"__outputs = __outputs_{len(steps) - 1}")
+    lines.append(f"if len(__outputs) != {len(final.outputs)}:")
+    lines.append(
+        f"    raise ValueError('fused pipeline returned %d outputs, declared "
+        f"{len(final.outputs)}' % len(__outputs))"
+    )
+    for index, (iotype, table) in enumerate(zip(final.outputs, output_tables)):
+        if index == 0:
+            continue
+        lines.extend(_emit_secondary(index, iotype, table))
+    lines.extend(_emit_main(final.outputs[0]))
+    body = "\n".join(lines)
+
+    main_schema = output_schema(final.outputs[0])
+    returns = ", ".join(f"{name} {sql_type.value}" for name, sql_type in main_schema)
+    definition_sql = (
+        f"CREATE OR REPLACE FUNCTION {function_name}() "
+        f"RETURNS TABLE({returns}) LANGUAGE PYTHON {{\n{body}\n}}"
+    )
+    create_output_sql = []
+    for table_name, iotype in zip(output_tables, final.outputs):
+        schema = output_schema(iotype)
+        columns = ", ".join(f"{name} {sql_type.value}" for name, sql_type in schema)
+        create_output_sql.append(f"CREATE TABLE {table_name} ({columns})")
+    execute_sql = f"INSERT INTO {output_tables[0]} SELECT * FROM {function_name}()"
+    return UDFApplication(
+        function_name=function_name,
+        definition_sql=definition_sql,
+        create_output_sql=tuple(create_output_sql),
+        execute_sql=execute_sql,
+        output_tables=output_tables,
+        output_kinds=final.outputs,
+    )

@@ -1,0 +1,144 @@
+"""Typed input/output markers for ``@udf``-decorated functions.
+
+MIP wraps dynamic Python with a decorator that pins each parameter and result
+to one of a small set of SQL-representable kinds:
+
+- ``relation``  — a table with a declared (or inferred) schema,
+- ``tensor``    — an n-dimensional numeric array stored as (dims..., val),
+- ``literal``   — a plain Python value baked into the generated SQL,
+- ``state``     — an opaque, node-local Python object (pickled; never leaves
+  the node, the paper's "kept as a pointer to the actual data"),
+- ``transfer``  — a JSON-able dict shipped between nodes,
+- ``merge_transfer`` — the list of all workers' transfers, as seen by a
+  global step,
+- ``secure_transfer`` — a dict of ``{key: {"data": ..., "operation": op}}``
+  aggregated through the SMPC cluster instead of revealed to the master.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.engine.types import SQLType
+from repro.errors import UDFError
+
+#: SMPC aggregation operations supported by the secure transfer path.
+SECURE_OPERATIONS = ("sum", "min", "max", "union")
+
+
+class IOType:
+    """Base class for all parameter/result kind markers."""
+
+    __slots__ = ()
+
+    kind: str = "abstract"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+@dataclass(frozen=True, repr=False)
+class RelationType(IOType):
+    """A relational input/output with an optional fixed schema."""
+
+    schema: Optional[tuple[tuple[str, SQLType], ...]] = None
+    kind = "relation"
+
+
+@dataclass(frozen=True, repr=False)
+class TensorType(IOType):
+    """A numeric array of fixed rank stored in (dim..., val) layout."""
+
+    ndims: int = 2
+    dtype: SQLType = SQLType.REAL
+    kind = "tensor"
+
+    def __post_init__(self) -> None:
+        if self.ndims not in (1, 2):
+            raise UDFError("tensor supports 1 or 2 dimensions")
+
+
+@dataclass(frozen=True, repr=False)
+class LiteralType(IOType):
+    kind = "literal"
+
+
+@dataclass(frozen=True, repr=False)
+class StateType(IOType):
+    kind = "state"
+
+
+@dataclass(frozen=True, repr=False)
+class TransferType(IOType):
+    kind = "transfer"
+
+
+@dataclass(frozen=True, repr=False)
+class MergeTransferType(IOType):
+    kind = "merge_transfer"
+
+
+@dataclass(frozen=True, repr=False)
+class SecureTransferType(IOType):
+    """A transfer whose values are aggregated under SMPC.
+
+    The decorated function must return, for this output, a dict of
+    ``{key: {"data": scalar-or-nested-list, "operation": one of
+    SECURE_OPERATIONS}}``.
+    """
+
+    kind = "secure_transfer"
+
+
+def relation(schema: Sequence[tuple[str, SQLType]] | None = None) -> RelationType:
+    """Declare a relational parameter or result."""
+    return RelationType(tuple(schema) if schema is not None else None)
+
+
+def tensor(ndims: int = 2, dtype: SQLType = SQLType.REAL) -> TensorType:
+    """Declare a tensor parameter or result."""
+    return TensorType(ndims, dtype)
+
+
+def literal() -> LiteralType:
+    """Declare a literal (SQL-embedded) parameter."""
+    return LiteralType()
+
+
+def state() -> StateType:
+    """Declare a node-local opaque state parameter or result."""
+    return StateType()
+
+
+def transfer() -> TransferType:
+    """Declare a JSON transfer parameter or result."""
+    return TransferType()
+
+
+def merge_transfer() -> MergeTransferType:
+    """Declare a parameter receiving the list of all workers' transfers."""
+    return MergeTransferType()
+
+
+def secure_transfer() -> SecureTransferType:
+    """Declare an output aggregated by the SMPC cluster."""
+    return SecureTransferType()
+
+
+def output_schema(iotype: IOType) -> list[tuple[str, SQLType]]:
+    """The physical table schema used to store one output of a UDF."""
+    if isinstance(iotype, RelationType):
+        if iotype.schema is None:
+            raise UDFError("a relation output requires an explicit schema")
+        return list(iotype.schema)
+    if isinstance(iotype, TensorType):
+        dims = [(f"dim{i}", SQLType.INT) for i in range(iotype.ndims)]
+        return dims + [("val", iotype.dtype)]
+    if isinstance(iotype, StateType):
+        return [("state", SQLType.VARCHAR)]
+    if isinstance(iotype, TransferType):
+        return [("transfer", SQLType.VARCHAR)]
+    if isinstance(iotype, SecureTransferType):
+        return [("secure_transfer", SQLType.VARCHAR)]
+    raise UDFError(f"{type(iotype).__name__} cannot be a UDF output")

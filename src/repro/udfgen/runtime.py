@@ -1,0 +1,181 @@
+"""Helpers imported by generated UDF bodies (the serialization glue).
+
+Generated SQL bodies run inside the engine's Python UDF sandbox; they import
+this module to (de)serialize states, transfers, relations and tensors, and to
+quote values for loopback INSERTs.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import UDFError
+from repro.udfgen.iotypes import SECURE_OPERATIONS
+
+
+class Relation:
+    """The in-UDF view of a relational input: named numpy columns.
+
+    The paper's workers hand MonetDB result sets to Python as numpy arrays;
+    this wrapper adds the small conveniences algorithm code needs
+    (column access, matrix view, row count) without depending on pandas.
+    """
+
+    def __init__(self, columns: Mapping[str, np.ndarray]) -> None:
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise UDFError("ragged relation columns")
+        self._columns = {k: np.asarray(v) for k, v in columns.items()}
+
+    @property
+    def columns(self) -> list[str]:
+        return list(self._columns)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._columns[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __len__(self) -> int:
+        if not self._columns:
+            return 0
+        return len(next(iter(self._columns.values())))
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (len(self), len(self._columns))
+
+    def to_matrix(self, names: list[str] | None = None) -> np.ndarray:
+        """Stack the named (or all) columns into an (n, k) float matrix."""
+        names = names if names is not None else self.columns
+        if not names:
+            return np.empty((len(self), 0))
+        return np.column_stack([self._columns[n].astype(np.float64) for n in names])
+
+    def dropna(self) -> "Relation":
+        """Drop rows where any column is NaN/None."""
+        if not self._columns:
+            return Relation({})
+        keep = np.ones(len(self), dtype=bool)
+        for values in self._columns.values():
+            if values.dtype == object:
+                keep &= np.array([v is not None for v in values])
+            elif np.issubdtype(values.dtype, np.floating):
+                keep &= ~np.isnan(values)
+        return Relation({k: v[keep] for k, v in self._columns.items()})
+
+    def to_dict(self) -> dict[str, np.ndarray]:
+        return dict(self._columns)
+
+
+# ----------------------------------------------------------------- state
+
+
+def serialize_state(obj: Any) -> str:
+    """Pickle + base64 an opaque node-local state object."""
+    return base64.b64encode(pickle.dumps(obj)).decode("ascii")
+
+
+def deserialize_state(blob: str) -> Any:
+    """Inverse of :func:`serialize_state`."""
+    return pickle.loads(base64.b64decode(blob.encode("ascii")))
+
+
+# --------------------------------------------------------------- transfer
+
+
+class _TransferEncoder(json.JSONEncoder):
+    def default(self, o: Any) -> Any:
+        if isinstance(o, np.ndarray):
+            return o.tolist()
+        if isinstance(o, (np.integer,)):
+            return int(o)
+        if isinstance(o, (np.floating,)):
+            return float(o)
+        if isinstance(o, (np.bool_,)):
+            return bool(o)
+        return super().default(o)
+
+
+def serialize_transfer(obj: Mapping[str, Any]) -> str:
+    """JSON-encode a transfer dict (numpy arrays become nested lists)."""
+    if not isinstance(obj, Mapping):
+        raise UDFError(f"transfer must be a dict, got {type(obj).__name__}")
+    return json.dumps(obj, cls=_TransferEncoder)
+
+
+def deserialize_transfer(blob: str) -> dict[str, Any]:
+    """Inverse of :func:`serialize_transfer`."""
+    return json.loads(blob)
+
+
+def validate_secure_transfer(obj: Mapping[str, Any]) -> dict[str, Any]:
+    """Check a secure-transfer dict: every entry names data and an operation."""
+    if not isinstance(obj, Mapping):
+        raise UDFError("secure_transfer must be a dict")
+    for key, entry in obj.items():
+        if not isinstance(entry, Mapping) or "data" not in entry or "operation" not in entry:
+            raise UDFError(
+                f"secure_transfer entry {key!r} must be {{'data': ..., 'operation': ...}}"
+            )
+        if entry["operation"] not in SECURE_OPERATIONS:
+            raise UDFError(
+                f"secure_transfer entry {key!r}: unknown operation {entry['operation']!r}"
+            )
+    return {k: dict(v) for k, v in obj.items()}
+
+
+# ----------------------------------------------------------------- tensor
+
+
+def tensor_to_columns(array: np.ndarray) -> dict[str, np.ndarray]:
+    """Flatten an array into the (dim..., val) physical layout."""
+    array = np.asarray(array)
+    if array.ndim == 1:
+        return {"dim0": np.arange(len(array), dtype=np.int64), "val": array}
+    if array.ndim == 2:
+        rows, cols = array.shape
+        dim0 = np.repeat(np.arange(rows, dtype=np.int64), cols)
+        dim1 = np.tile(np.arange(cols, dtype=np.int64), rows)
+        return {"dim0": dim0, "dim1": dim1, "val": array.ravel()}
+    raise UDFError("only 1-D and 2-D tensors are supported")
+
+
+def columns_to_tensor(columns: Mapping[str, np.ndarray]) -> np.ndarray:
+    """Rebuild an array from the (dim..., val) layout."""
+    if "dim1" in columns:
+        dim0 = np.asarray(columns["dim0"], dtype=np.int64)
+        dim1 = np.asarray(columns["dim1"], dtype=np.int64)
+        val = np.asarray(columns["val"])
+        shape = (int(dim0.max()) + 1 if len(dim0) else 0,
+                 int(dim1.max()) + 1 if len(dim1) else 0)
+        out = np.zeros(shape, dtype=val.dtype if val.dtype != object else np.float64)
+        out[dim0, dim1] = val
+        return out
+    dim0 = np.asarray(columns["dim0"], dtype=np.int64)
+    val = np.asarray(columns["val"])
+    out = np.zeros(int(dim0.max()) + 1 if len(dim0) else 0,
+                   dtype=val.dtype if val.dtype != object else np.float64)
+    out[dim0] = val
+    return out
+
+
+# -------------------------------------------------------------------- SQL
+
+
+def sql_quote(value: Any) -> str:
+    """Render a Python scalar as a SQL literal for generated INSERTs."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return repr(float(value)) if isinstance(value, (float, np.floating)) else repr(int(value))
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"

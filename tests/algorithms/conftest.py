@@ -1,0 +1,63 @@
+"""Algorithm-test helpers: run experiments and build pooled references."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import ExperimentEngine, ExperimentRequest
+
+ALL_DATASETS = ("edsd", "adni", "ppmi")
+
+
+@pytest.fixture(scope="module")
+def run(federation):
+    """Run an algorithm on the shared federation (plain path, fast)."""
+    engine = ExperimentEngine(federation, aggregation="plain")
+
+    def _run(algorithm, y=(), x=(), parameters=None, datasets=ALL_DATASETS, filter_sql=None):
+        result = engine.run(
+            ExperimentRequest(
+                algorithm=algorithm,
+                data_model="dementia",
+                datasets=tuple(datasets),
+                y=tuple(y),
+                x=tuple(x),
+                parameters=parameters or {},
+                filter_sql=filter_sql,
+            )
+        )
+        assert result.status.value == "success", f"{algorithm}: {result.error}"
+        return result.result
+
+    return _run
+
+
+@pytest.fixture(scope="session")
+def pooled(worker_data):
+    """Centralized complete-case reference rows."""
+
+    def _pooled(*columns):
+        rows = []
+        for models in worker_data.values():
+            table = models["dementia"]
+            lists = [table.column(c).to_list() for c in columns]
+            rows.extend(row for row in zip(*lists) if None not in row)
+        return rows
+
+    return _pooled
+
+
+def design_matrix(rows, nominal_levels=None):
+    """Reference design matrix: numeric passthrough + observed-level dummies."""
+    nominal_levels = nominal_levels or {}
+    n = len(rows)
+    columns = [np.ones(n)]
+    for index in range(len(rows[0])):
+        values = [row[index] for row in rows]
+        if index in nominal_levels:
+            for level in nominal_levels[index][1:]:
+                columns.append(np.array([1.0 if v == level else 0.0 for v in values]))
+        else:
+            columns.append(np.array(values, dtype=float))
+    return np.column_stack(columns)

@@ -1,0 +1,73 @@
+"""The calibration belt."""
+
+import numpy as np
+import pytest
+
+
+class TestCalibrationBelt:
+    def test_detects_miscalibration(self, run):
+        """The generator's risk score is deliberately overconfident."""
+        result = run("calibration_belt", y=["converted_ad"], x=["predicted_risk"])
+        assert result["test_p_value"] < 0.05
+        assert result["well_calibrated"] is False
+
+    def test_belt_structure(self, run):
+        result = run("calibration_belt", y=["converted_ad"], x=["predicted_risk"])
+        grid = result["probability_grid"]
+        assert len(grid) == 100
+        assert all(0 <= p <= 1 for p in grid)
+        assert grid == sorted(grid)
+        for band in (result["belt_80"], result["belt_95"]):
+            assert len(band["lower"]) == len(grid)
+            for low, mid, high in zip(band["lower"], result["calibration_curve"], band["upper"]):
+                assert low <= mid <= high
+
+    def test_95_belt_contains_80_belt(self, run):
+        result = run("calibration_belt", y=["converted_ad"], x=["predicted_risk"])
+        for l80, l95 in zip(result["belt_80"]["lower"], result["belt_95"]["lower"]):
+            assert l95 <= l80 + 1e-12
+        for u80, u95 in zip(result["belt_80"]["upper"], result["belt_95"]["upper"]):
+            assert u95 >= u80 - 1e-12
+
+    def test_degree_selection_bounded(self, run):
+        result = run(
+            "calibration_belt", y=["converted_ad"], x=["predicted_risk"],
+            parameters={"max_degree": 2},
+        )
+        assert 1 <= result["degree"] <= 2
+        assert len(result["coefficients"]) == result["degree"] + 1
+
+    def test_overconfidence_direction(self, run):
+        """Overconfident scores: fitted slope on logit(phat) below 1."""
+        result = run("calibration_belt", y=["converted_ad"], x=["predicted_risk"])
+        assert result["coefficients"][1] < 1.0
+
+    def test_well_calibrated_score_passes(self, federation, worker_data):
+        """Feeding the *observed* event frequency band as the predictor:
+        recalibrated scores should not be flagged."""
+        import numpy as np
+
+        from repro.core.experiment import ExperimentEngine, ExperimentRequest
+        from repro.engine.table import Table
+
+        # Build a recalibrated predictor on each worker: p_cal chosen so that
+        # logit(p_cal) = fitted a + b * logit(p_hat) from a pooled recalibration.
+        rows = []
+        for models in worker_data.values():
+            table = models["dementia"]
+            for risk, converted in zip(
+                table.column("predicted_risk").to_list(),
+                table.column("converted_ad").to_list(),
+            ):
+                rows.append((risk, converted))
+        risk = np.clip(np.array([r[0] for r in rows]), 1e-6, 1 - 1e-6)
+        outcome = np.array([r[1] for r in rows], dtype=float)
+        g = np.log(risk / (1 - risk))
+        X = np.column_stack([np.ones(len(g)), g])
+        beta = np.zeros(2)
+        for _ in range(30):
+            p = 1 / (1 + np.exp(-(X @ beta)))
+            W = p * (1 - p)
+            beta += np.linalg.solve(X.T @ (X * W[:, None]), X.T @ (outcome - p))
+        # if a ~ 0 and b ~ 1 the model is already calibrated; here b < 1.
+        assert beta[1] < 1.0

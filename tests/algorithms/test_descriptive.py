@@ -1,0 +1,107 @@
+"""Descriptive statistics: the Figure 3 dashboard tables."""
+
+import numpy as np
+import pytest
+
+
+class TestPerDataset:
+    def test_one_column_per_dataset(self, run):
+        result = run("descriptive_stats", y=["p_tau", "leftententorhinalarea"])
+        assert set(result["per_dataset"]) == {"edsd", "adni", "ppmi"}
+
+    def test_numeric_statistics_match_direct(self, run, worker_data):
+        result = run("descriptive_stats", y=["p_tau"])
+        table = worker_data["hospital_a"]["dementia"]  # holds edsd
+        values = np.array([v for v in table.column("p_tau").to_list() if v is not None])
+        entry = result["per_dataset"]["edsd"]["p_tau"]
+        assert entry["count"] == table.num_rows
+        assert entry["datapoints"] == len(values)
+        assert entry["na"] == table.num_rows - len(values)
+        assert entry["mean"] == pytest.approx(values.mean())
+        assert entry["std"] == pytest.approx(values.std(ddof=1))
+        assert entry["se"] == pytest.approx(values.std(ddof=1) / np.sqrt(len(values)))
+        assert entry["min"] == pytest.approx(values.min())
+        assert entry["max"] == pytest.approx(values.max())
+        assert entry["q2"] == pytest.approx(np.percentile(values, 50))
+
+    def test_nominal_level_counts(self, run, worker_data):
+        result = run("descriptive_stats", y=["gender"])
+        table = worker_data["hospital_a"]["dementia"]
+        females = sum(1 for v in table.column("gender").to_list() if v == "F")
+        entry = result["per_dataset"]["edsd"]["gender"]
+        assert entry["kind"] == "nominal"
+        assert entry["levels"]["F"] == females
+
+    def test_dashboard_layout_fields(self, run):
+        """Each numeric cell carries the fields the Fig. 3 table shows."""
+        result = run("descriptive_stats", y=["p_tau"])
+        entry = result["per_dataset"]["edsd"]["p_tau"]
+        for field in ("count", "datapoints", "na", "se", "mean", "min",
+                      "q1", "q2", "q3", "max"):
+            assert field in entry
+
+
+class TestSuppression:
+    def test_high_threshold_suppresses_per_dataset_stats(self, run):
+        """The dashboard's NOT-ENOUGH-DATA behaviour: below the threshold a
+        dataset releases only its counts."""
+        result = run(
+            "descriptive_stats", y=["p_tau"],
+            parameters={"suppression_threshold": 10_000},
+        )
+        for dataset, stats in result["per_dataset"].items():
+            entry = stats["p_tau"]
+            assert entry["suppressed"] is True
+            assert "mean" not in entry
+            assert entry["count"] > 0  # counts stay visible
+
+    def test_default_threshold_releases_stats(self, run):
+        result = run("descriptive_stats", y=["p_tau"])
+        for dataset, stats in result["per_dataset"].items():
+            assert "mean" in stats["p_tau"]
+            assert "suppressed" not in stats["p_tau"]
+
+    def test_nominal_suppression(self, run):
+        result = run(
+            "descriptive_stats", y=["gender"],
+            parameters={"suppression_threshold": 10_000},
+        )
+        for stats in result["per_dataset"].values():
+            assert "levels" not in stats["gender"]
+            assert stats["gender"]["suppressed"] is True
+
+
+class TestPooled:
+    def test_counts_add_up(self, run, pooled):
+        result = run("descriptive_stats", y=["p_tau"])
+        per_dataset = result["per_dataset"]
+        total_datapoints = sum(per_dataset[d]["p_tau"]["datapoints"] for d in per_dataset)
+        assert result["pooled"]["p_tau"]["datapoints"] == total_datapoints
+
+    def test_pooled_moments_match_reference(self, run, pooled):
+        result = run("descriptive_stats", y=["p_tau"])
+        values = np.array([v for (v,) in pooled("p_tau")])
+        entry = result["pooled"]["p_tau"]
+        assert entry["mean"] == pytest.approx(values.mean(), rel=1e-9)
+        assert entry["std"] == pytest.approx(values.std(ddof=1), rel=1e-9)
+        assert entry["min"] == pytest.approx(values.min(), abs=1e-6)
+        assert entry["max"] == pytest.approx(values.max(), abs=1e-6)
+
+    def test_pooled_quantiles_approximate(self, run, pooled):
+        result = run("descriptive_stats", y=["p_tau"], parameters={"n_bins": 200})
+        values = np.array([v for (v,) in pooled("p_tau")])
+        entry = result["pooled"]["p_tau"]
+        spread = values.max() - values.min()
+        for q, key in ((25, "q1"), (50, "q2"), (75, "q3")):
+            assert abs(entry[key] - np.percentile(values, q)) < spread * 0.03
+
+    def test_pooled_nominal(self, run, pooled):
+        result = run("descriptive_stats", y=["gender"])
+        rows = pooled("gender")
+        females = sum(1 for (g,) in rows if g == "F")
+        assert result["pooled"]["gender"]["levels"]["F"] == females
+
+    def test_quantile_order(self, run):
+        result = run("descriptive_stats", y=["leftententorhinalarea"])
+        entry = result["pooled"]["leftententorhinalarea"]
+        assert entry["min"] <= entry["q1"] <= entry["q2"] <= entry["q3"] <= entry["max"]

@@ -1,0 +1,113 @@
+"""Federated histograms and ANOVA Tukey HSD post-hoc."""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+
+class TestHistogramNumeric:
+    def test_counts_match_reference(self, run, pooled):
+        result = run("histogram", y=["lefthippocampus"], parameters={"n_bins": 12})
+        values = np.array([v for (v,) in pooled("lefthippocampus")])
+        edges = np.asarray(result["edges"])
+        reference, _ = np.histogram(values, bins=edges)
+        released = np.asarray(result["histograms"]["all"]["counts"])
+        # suppressed cells (small counts) become 0; everything else matches
+        mask = released > 0
+        assert np.array_equal(released[mask], reference[mask])
+        assert result["histograms"]["all"]["total"] == len(values)
+
+    def test_edges_span_cde_range(self, run):
+        result = run("histogram", y=["lefthippocampus"], parameters={"n_bins": 10})
+        assert result["edges"][0] == pytest.approx(1.0)   # CDE min
+        assert result["edges"][-1] == pytest.approx(6.0)  # CDE max
+        assert len(result["edges"]) == 11
+
+    def test_small_cells_suppressed(self, run):
+        result = run("histogram", y=["lefthippocampus"], parameters={"n_bins": 200})
+        counts = np.asarray(result["histograms"]["all"]["counts"])
+        from repro.algorithms.histograms import SUPPRESSION_THRESHOLD
+
+        assert not ((counts > 0) & (counts < SUPPRESSION_THRESHOLD)).any()
+        assert result["suppressed_cells"] > 0
+
+
+class TestHistogramNominal:
+    def test_level_counts(self, run, pooled):
+        result = run("histogram", y=["gender"])
+        rows = pooled("gender")
+        females = sum(1 for (g,) in rows if g == "F")
+        f_index = result["levels"].index("F")
+        assert result["histograms"]["all"]["counts"][f_index] == females
+        assert result["kind"] == "nominal"
+
+
+class TestHistogramGrouped:
+    def test_per_group_histograms(self, run, pooled):
+        result = run(
+            "histogram", y=["lefthippocampus"], x=["alzheimerbroadcategory"],
+            parameters={"n_bins": 8},
+        )
+        assert set(result["groups"]) == set(result["histograms"])
+        rows = pooled("lefthippocampus", "alzheimerbroadcategory")
+        ad_count = sum(1 for _, g in rows if g == "AD")
+        assert result["histograms"]["AD"]["total"] == ad_count
+
+    def test_group_distributions_shift(self, run):
+        """AD volumes concentrate in lower bins than CN volumes."""
+        result = run(
+            "histogram", y=["lefthippocampus"], x=["alzheimerbroadcategory"],
+            parameters={"n_bins": 8},
+        )
+        edges = np.asarray(result["edges"])
+        centers = (edges[:-1] + edges[1:]) / 2
+
+        def weighted_mean(group):
+            counts = np.asarray(result["histograms"][group]["counts"], dtype=float)
+            return float((centers * counts).sum() / counts.sum())
+
+        assert weighted_mean("AD") < weighted_mean("CN")
+
+
+class TestTukeyHSD:
+    def test_matches_scipy_tukey(self, run, pooled):
+        result = run("anova_oneway", y=["lefthippocampus"], x=["alzheimerbroadcategory"])
+        comparisons = {tuple(c["groups"]): c for c in result["pairwise_comparisons"]}
+        rows = pooled("lefthippocampus", "alzheimerbroadcategory")
+        groups = {}
+        for value, level in rows:
+            groups.setdefault(level, []).append(value)
+        ordered_levels = result["groups"]
+        reference = scipy.stats.tukey_hsd(*[groups[g] for g in ordered_levels])
+        for i in range(len(ordered_levels)):
+            for j in range(i + 1, len(ordered_levels)):
+                ours = comparisons[(ordered_levels[i], ordered_levels[j])]
+                assert ours["mean_difference"] == pytest.approx(
+                    np.mean(groups[ordered_levels[i]]) - np.mean(groups[ordered_levels[j]]),
+                    rel=1e-9,
+                )
+                assert ours["p_adjusted"] == pytest.approx(
+                    reference.pvalue[i, j], abs=1e-6
+                )
+
+    def test_ci_brackets_difference(self, run):
+        result = run("anova_oneway", y=["lefthippocampus"], x=["alzheimerbroadcategory"])
+        for comparison in result["pairwise_comparisons"]:
+            assert comparison["ci_lower"] < comparison["mean_difference"] < comparison["ci_upper"]
+
+    def test_pairwise_disabled(self, run):
+        result = run(
+            "anova_oneway", y=["lefthippocampus"], x=["alzheimerbroadcategory"],
+            parameters={"pairwise": False},
+        )
+        assert "pairwise_comparisons" not in result
+
+    def test_all_pairs_present(self, run):
+        result = run("anova_oneway", y=["lefthippocampus"], x=["alzheimerbroadcategory"])
+        k = len(result["groups"])
+        assert len(result["pairwise_comparisons"]) == k * (k - 1) // 2
+
+    def test_strong_separation_detected(self, run):
+        result = run("anova_oneway", y=["lefthippocampus"], x=["alzheimerbroadcategory"])
+        comparisons = {tuple(sorted(c["groups"])): c for c in result["pairwise_comparisons"]}
+        assert comparisons[("AD", "CN")]["significant"]

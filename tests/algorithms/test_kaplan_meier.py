@@ -1,0 +1,127 @@
+"""Federated Kaplan-Meier estimator."""
+
+import numpy as np
+import pytest
+
+
+def km_reference(times, events, grid):
+    """Binned product-limit reference matching the federated convention."""
+    n = len(times)
+    survival = []
+    current = float(n)
+    s = 1.0
+    for low, high in zip(grid[:-1], grid[1:]):
+        in_bin = (times >= low) & (times < high)
+        # the last bin is closed on the right
+        if high == grid[-1]:
+            in_bin = (times >= low) & (times <= high)
+        d = float((in_bin & events).sum())
+        c = float((in_bin & ~events).sum())
+        if current > 0 and d > 0:
+            s *= 1 - d / current
+        survival.append(s)
+        current -= d + c
+    return np.array(survival)
+
+
+class TestSingleCurve:
+    def test_monotone_nonincreasing(self, run):
+        result = run("kaplan_meier", y=["survival_months", "event_observed"])
+        curve = result["curves"]["all"]["survival"]
+        assert all(a >= b - 1e-12 for a, b in zip(curve, curve[1:]))
+        assert curve[0] <= 1.0
+
+    def test_matches_binned_reference(self, run, pooled):
+        result = run(
+            "kaplan_meier", y=["survival_months", "event_observed"],
+            parameters={"n_bins": 40},
+        )
+        rows = pooled("survival_months", "event_observed")
+        times = np.array([r[0] for r in rows])
+        events = np.array([r[1] for r in rows]) > 0.5
+        grid = np.array([times.min()] + result["time_grid"])
+        reference = km_reference(times, events, grid)
+        assert np.allclose(result["curves"]["all"]["survival"], reference, atol=1e-9)
+
+    def test_counts(self, run, pooled):
+        result = run("kaplan_meier", y=["survival_months", "event_observed"])
+        rows = pooled("survival_months", "event_observed")
+        curve = result["curves"]["all"]
+        assert curve["n_subjects"] == len(rows)
+        assert curve["n_events"] == sum(1 for r in rows if r[1] == 1)
+
+    def test_confidence_bands_bracket_curve(self, run):
+        result = run("kaplan_meier", y=["survival_months", "event_observed"])
+        curve = result["curves"]["all"]
+        for low, s, high in zip(curve["ci_lower"], curve["survival"], curve["ci_upper"]):
+            assert low <= s <= high
+            assert 0 <= low and high <= 1
+
+    def test_wrong_variable_count(self, federation):
+        from repro.core.experiment import ExperimentEngine, ExperimentRequest
+
+        engine = ExperimentEngine(federation, aggregation="plain")
+        result = engine.run(
+            ExperimentRequest(
+                algorithm="kaplan_meier",
+                data_model="dementia",
+                datasets=("edsd",),
+                y=("survival_months",),
+            )
+        )
+        assert result.status.value == "error"
+        assert "two y variables" in result.error
+
+
+class TestGroupedCurves:
+    def test_curves_per_diagnosis(self, run):
+        result = run(
+            "kaplan_meier", y=["survival_months", "event_observed"],
+            x=["alzheimerbroadcategory"],
+        )
+        assert set(result["curves"]) == set(result["groups"])
+        assert len(result["groups"]) >= 3
+
+    def test_ad_worse_survival_than_cn(self, run):
+        result = run(
+            "kaplan_meier", y=["survival_months", "event_observed"],
+            x=["alzheimerbroadcategory"],
+        )
+        ad = result["curves"]["AD"]["survival"][-1]
+        cn = result["curves"]["CN"]["survival"][-1]
+        assert ad < cn
+
+    def test_log_rank_detects_group_difference(self, run):
+        result = run(
+            "kaplan_meier", y=["survival_months", "event_observed"],
+            x=["alzheimerbroadcategory"],
+        )
+        log_rank = result["log_rank"]
+        assert log_rank["degrees_of_freedom"] == len(result["groups"]) - 1
+        assert log_rank["p_value"] < 1e-6  # strong hazard separation by design
+        assert sum(log_rank["observed"]) == pytest.approx(sum(log_rank["expected"]), rel=0.01)
+
+    def test_no_log_rank_for_single_group(self, run):
+        result = run("kaplan_meier", y=["survival_months", "event_observed"])
+        assert "log_rank" not in result
+
+    def test_median_survival_ordering(self, run):
+        result = run(
+            "kaplan_meier", y=["survival_months", "event_observed"],
+            x=["alzheimerbroadcategory"],
+        )
+        ad_median = result["curves"]["AD"]["median_survival"]
+        cn_median = result["curves"]["CN"]["median_survival"]
+        assert ad_median is not None  # AD reaches 50% conversion in follow-up
+        # CN rarely converts: either never reaches the median or much later
+        assert cn_median is None or cn_median > ad_median
+
+    def test_median_is_first_crossing(self, run):
+        result = run("kaplan_meier", y=["survival_months", "event_observed"],
+                     x=["alzheimerbroadcategory"])
+        curve = result["curves"]["AD"]
+        median = curve["median_survival"]
+        grid = result["time_grid"]
+        index = grid.index(median)
+        assert curve["survival"][index] <= 0.5
+        assert all(s > 0.5 for s in curve["survival"][:index])

@@ -1,0 +1,118 @@
+"""Federated linear regression equals the centralized OLS."""
+
+import numpy as np
+import pytest
+
+from tests.algorithms.conftest import design_matrix
+
+
+class TestLinearRegression:
+    def test_matches_centralized_ols(self, run, pooled):
+        result = run(
+            "linear_regression",
+            y=["lefthippocampus"],
+            x=["agevalue", "alzheimerbroadcategory"],
+        )
+        rows = pooled("lefthippocampus", "agevalue", "alzheimerbroadcategory")
+        y = np.array([r[0] for r in rows])
+        levels = sorted({r[2] for r in rows}, key=["CN", "MCI", "AD", "Other"].index)
+        X = design_matrix([(r[1], r[2]) for r in rows], nominal_levels={1: levels})
+        beta, *_ = np.linalg.lstsq(X, y, rcond=None)
+        assert np.allclose(result["coefficients"], beta, atol=1e-8)
+        assert result["n_observations"] == len(rows)
+
+    def test_inference_statistics(self, run, pooled):
+        result = run("linear_regression", y=["lefthippocampus"], x=["agevalue"])
+        rows = pooled("lefthippocampus", "agevalue")
+        y = np.array([r[0] for r in rows])
+        X = np.column_stack([np.ones(len(y)), [r[1] for r in rows]])
+        beta = np.linalg.lstsq(X, y, rcond=None)[0]
+        residuals = y - X @ beta
+        dof = len(y) - 2
+        mse = residuals @ residuals / dof
+        se = np.sqrt(np.diag(np.linalg.inv(X.T @ X)) * mse)
+        assert np.allclose(result["std_err"], se, atol=1e-8)
+        assert result["degrees_of_freedom"] == dof
+        # R^2 in [0, 1], CI brackets the estimate
+        assert 0 <= result["r_squared"] <= 1
+        for low, b, high in zip(result["ci_lower"], result["coefficients"], result["ci_upper"]):
+            assert low < b < high
+
+    def test_diagnosis_effect_negative(self, run):
+        """The use-case signal: AD shrinks hippocampal volume."""
+        result = run(
+            "linear_regression",
+            y=["lefthippocampus"],
+            x=["alzheimerbroadcategory"],
+        )
+        names = result["variable_names"]
+        ad_index = names.index("alzheimerbroadcategory[AD]")
+        assert result["coefficients"][ad_index] < -0.5
+        assert result["p_values"][ad_index] < 1e-10
+
+    def test_variable_names_align(self, run):
+        result = run(
+            "linear_regression",
+            y=["lefthippocampus"],
+            x=["agevalue", "gender"],
+        )
+        assert result["variable_names"] == ["intercept", "agevalue", "gender[M]"]
+        assert len(result["coefficients"]) == 3
+
+    def test_singular_design_reported_as_error(self, federation):
+        """A duplicated covariate makes X^T X singular; the experiment fails
+        cleanly instead of crashing the platform."""
+        from repro.core.experiment import ExperimentEngine, ExperimentRequest
+
+        engine = ExperimentEngine(federation, aggregation="plain")
+        result = engine.run(
+            ExperimentRequest(
+                algorithm="linear_regression",
+                data_model="dementia",
+                datasets=("edsd",),
+                y=("lefthippocampus",),
+                x=("agevalue", "agevalue"),
+            )
+        )
+        assert result.status.value == "error"
+
+    def test_filter_reduces_n(self, run):
+        full = run("linear_regression", y=["lefthippocampus"], x=["agevalue"])
+        filtered = run(
+            "linear_regression", y=["lefthippocampus"], x=["agevalue"],
+            filter_sql="alzheimerbroadcategory = 'AD'",
+        )
+        assert filtered["n_observations"] < full["n_observations"]
+
+
+class TestLinearRegressionCV:
+    def test_fold_metrics(self, run):
+        result = run(
+            "linear_regression_cv",
+            y=["lefthippocampus"],
+            x=["agevalue", "alzheimerbroadcategory"],
+            parameters={"n_splits": 4},
+        )
+        assert result["n_splits"] == 4
+        assert len(result["folds"]) == 4
+        total_test = sum(f["n_test"] for f in result["folds"])
+        assert total_test == run(
+            "linear_regression", y=["lefthippocampus"],
+            x=["agevalue", "alzheimerbroadcategory"],
+        )["n_observations"]
+        assert result["mean_r_squared"] > 0.5  # strong signal in the generator
+
+    def test_rmse_consistent_with_mse(self, run):
+        result = run(
+            "linear_regression_cv", y=["lefthippocampus"], x=["agevalue"],
+            parameters={"n_splits": 3},
+        )
+        for fold in result["folds"]:
+            assert fold["rmse"] == pytest.approx(np.sqrt(fold["mse"]), rel=1e-9)
+
+    def test_seed_changes_split(self, run):
+        a = run("linear_regression_cv", y=["lefthippocampus"], x=["agevalue"],
+                parameters={"n_splits": 3, "seed": 1})
+        b = run("linear_regression_cv", y=["lefthippocampus"], x=["agevalue"],
+                parameters={"n_splits": 3, "seed": 2})
+        assert a["folds"][0]["mse"] != b["folds"][0]["mse"]

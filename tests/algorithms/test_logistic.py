@@ -1,0 +1,118 @@
+"""Federated logistic regression against a centralized IRLS reference."""
+
+import numpy as np
+import pytest
+
+from tests.algorithms.conftest import design_matrix
+
+
+def irls_reference(X, y, iterations=40):
+    beta = np.zeros(X.shape[1])
+    for _ in range(iterations):
+        p = 1.0 / (1.0 + np.exp(-(X @ beta)))
+        W = p * (1 - p)
+        beta = beta + np.linalg.solve(X.T @ (X * W[:, None]), X.T @ (y - p))
+    return beta
+
+
+class TestLogisticRegression:
+    def test_matches_centralized_irls(self, run, pooled):
+        result = run(
+            "logistic_regression",
+            y=["gender"],
+            x=["lefthippocampus", "agevalue"],
+        )
+        rows = pooled("gender", "lefthippocampus", "agevalue")
+        y = np.array([1.0 if g == "M" else 0.0 for g, *_ in rows])
+        X = design_matrix([(r[1], r[2]) for r in rows])
+        beta = irls_reference(X, y)
+        assert np.allclose(result["coefficients"], beta, atol=1e-6)
+        assert result["positive_level"] == "M"
+        assert result["converged"]
+
+    def test_numeric_binary_response(self, run, pooled):
+        result = run(
+            "logistic_regression",
+            y=["converted_ad"],
+            x=["p_tau", "lefthippocampus"],
+        )
+        rows = pooled("converted_ad", "p_tau", "lefthippocampus")
+        y = np.array([float(r[0]) for r in rows])
+        X = design_matrix([(r[1], r[2]) for r in rows])
+        beta = irls_reference(X, y)
+        assert np.allclose(result["coefficients"], beta, atol=1e-6)
+        # higher pTau and smaller hippocampus raise conversion odds
+        assert result["coefficients"][1] > 0
+        assert result["coefficients"][2] < 0
+
+    def test_inference_and_fit_statistics(self, run):
+        result = run(
+            "logistic_regression",
+            y=["converted_ad"],
+            x=["p_tau", "lefthippocampus"],
+        )
+        assert len(result["std_err"]) == 3
+        assert all(se > 0 for se in result["std_err"])
+        for low, b, high in zip(result["ci_lower"], result["coefficients"], result["ci_upper"]):
+            assert low < b < high
+        assert result["odds_ratios"] == pytest.approx(
+            list(np.exp(result["coefficients"]))
+        )
+        assert result["log_likelihood"] <= 0
+        assert result["aic"] > 0
+        assert 0 <= result["mcfadden_r_squared"] <= 1
+
+    def test_classification_metrics_consistent(self, run):
+        result = run(
+            "logistic_regression",
+            y=["converted_ad"],
+            x=["p_tau", "lefthippocampus"],
+        )
+        confusion = result["confusion_matrix"]
+        total = sum(confusion.values())
+        assert total == result["n_observations"]
+        accuracy = (confusion["tp"] + confusion["tn"]) / total
+        assert result["accuracy"] == pytest.approx(accuracy)
+        assert 0.5 < result["auc"] <= 1.0  # real signal
+
+    def test_nonbinary_nominal_rejected(self, federation):
+        from repro.core.experiment import ExperimentEngine, ExperimentRequest
+
+        engine = ExperimentEngine(federation, aggregation="plain")
+        result = engine.run(
+            ExperimentRequest(
+                algorithm="logistic_regression",
+                data_model="dementia",
+                datasets=("edsd", "adni", "ppmi"),
+                y=("alzheimerbroadcategory",),
+                x=("p_tau",),
+            )
+        )
+        assert result.status.value == "error"
+        assert "binary" in result.error
+
+
+class TestLogisticRegressionCV:
+    def test_fold_metrics_cover_data(self, run, pooled):
+        result = run(
+            "logistic_regression_cv",
+            y=["converted_ad"],
+            x=["p_tau", "lefthippocampus"],
+            parameters={"n_splits": 3, "max_iterations": 10},
+        )
+        rows = pooled("converted_ad", "p_tau", "lefthippocampus")
+        assert sum(f["n_test"] for f in result["folds"]) == len(rows)
+        assert 0 <= result["mean_accuracy"] <= 1
+        assert result["mean_accuracy"] > 0.6  # informative features
+
+    def test_per_fold_coefficients(self, run):
+        result = run(
+            "logistic_regression_cv",
+            y=["converted_ad"],
+            x=["p_tau"],
+            parameters={"n_splits": 3, "max_iterations": 10},
+        )
+        coefficients = np.array(result["fold_coefficients"])
+        assert coefficients.shape == (3, 2)
+        # folds differ but agree on the direction of the pTau effect
+        assert (coefficients[:, 1] > 0).all()

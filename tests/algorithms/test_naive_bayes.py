@@ -1,0 +1,79 @@
+"""Federated Naive Bayes training and cross-validation."""
+
+import numpy as np
+import pytest
+
+FEATURES = ["lefthippocampus", "p_tau", "gender"]
+
+
+class TestTraining:
+    def test_model_structure(self, run):
+        result = run("naive_bayes", y=["alzheimerbroadcategory"], x=FEATURES)
+        model = result["model"]
+        assert set(model["classes"]) <= {"CN", "MCI", "AD", "Other"}
+        assert len(model["priors"]) == len(model["classes"])
+        assert sum(model["priors"]) == pytest.approx(1.0, abs=1e-9)
+        assert len(model["features"]) == len(FEATURES)
+
+    def test_gaussian_parameters_match_reference(self, run, pooled):
+        result = run("naive_bayes", y=["alzheimerbroadcategory"], x=FEATURES,
+                     parameters={"alpha": 0.0})
+        model = result["model"]
+        rows = pooled("alzheimerbroadcategory", *FEATURES)
+        ad_values = np.array([r[1] for r in rows if r[0] == "AD"])
+        ad_index = model["classes"].index("AD")
+        params = model["features"][0][ad_index]
+        assert params["mean"] == pytest.approx(ad_values.mean(), rel=1e-9)
+        assert params["var"] == pytest.approx(ad_values.var(), rel=1e-6)
+
+    def test_categorical_probabilities(self, run, pooled):
+        result = run("naive_bayes", y=["alzheimerbroadcategory"], x=FEATURES,
+                     parameters={"alpha": 1.0})
+        model = result["model"]
+        rows = pooled("alzheimerbroadcategory", *FEATURES)
+        cn_rows = [r for r in rows if r[0] == "CN"]
+        cn_females = sum(1 for r in cn_rows if r[3] == "F")
+        cn_index = model["classes"].index("CN")
+        gender_index = FEATURES.index("gender")
+        probabilities = model["features"][gender_index][cn_index]["level_probs"]
+        expected = (cn_females + 1.0) / (len(cn_rows) + 2.0)
+        assert probabilities[0] == pytest.approx(expected, rel=1e-9)
+        assert sum(probabilities) == pytest.approx(1.0)
+
+    def test_smoothing_avoids_zero_probabilities(self, run):
+        result = run("naive_bayes", y=["alzheimerbroadcategory"], x=FEATURES)
+        model = result["model"]
+        gender_index = FEATURES.index("gender")
+        for per_class in model["features"][gender_index]:
+            assert all(p > 0 for p in per_class["level_probs"])
+
+
+class TestCrossValidation:
+    def test_confusion_covers_all_rows(self, run, pooled):
+        result = run(
+            "naive_bayes_cv", y=["alzheimerbroadcategory"], x=FEATURES,
+            parameters={"n_splits": 3},
+        )
+        rows = pooled("alzheimerbroadcategory", *FEATURES)
+        confusion = np.array(result["confusion_matrix"])
+        assert confusion.sum() == len(rows)
+        assert sum(f["n_test"] for f in result["folds"]) == len(rows)
+
+    def test_informative_features_beat_chance(self, run):
+        result = run(
+            "naive_bayes_cv", y=["alzheimerbroadcategory"], x=FEATURES,
+            parameters={"n_splits": 3},
+        )
+        assert result["mean_accuracy"] > 0.5
+
+    def test_accuracy_from_confusion_diagonal(self, run):
+        result = run(
+            "naive_bayes_cv", y=["alzheimerbroadcategory"], x=FEATURES,
+            parameters={"n_splits": 3},
+        )
+        confusion = np.array(result["confusion_matrix"])
+        overall = np.trace(confusion) / confusion.sum()
+        weighted = sum(
+            f["accuracy"] * f["n_test"] for f in result["folds"]
+        ) / sum(f["n_test"] for f in result["folds"])
+        assert overall == pytest.approx(weighted, rel=1e-9)

@@ -1,0 +1,140 @@
+"""Pearson correlation and PCA against numpy/scipy references."""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+VOLUMES = ["lefthippocampus", "righthippocampus", "leftlateralventricle", "minimentalstate"]
+
+
+class TestPearson:
+    def test_matrix_matches_numpy(self, run, pooled):
+        result = run("pearson_correlation", y=VOLUMES)
+        rows = pooled(*VOLUMES)
+        matrix = np.array(rows, dtype=float)
+        reference = np.corrcoef(matrix.T)
+        assert np.allclose(result["correlations"], reference, atol=1e-10)
+        assert result["n_observations"] == len(rows)
+
+    def test_p_values_match_scipy(self, run, pooled):
+        result = run("pearson_correlation", y=["lefthippocampus", "minimentalstate"])
+        rows = pooled("lefthippocampus", "minimentalstate")
+        reference = scipy.stats.pearsonr(
+            [r[0] for r in rows], [r[1] for r in rows]
+        )
+        assert result["correlations"][0][1] == pytest.approx(reference.statistic, abs=1e-10)
+        assert result["p_values"][0][1] == pytest.approx(reference.pvalue, abs=1e-10)
+
+    def test_diagonal_is_one(self, run):
+        result = run("pearson_correlation", y=VOLUMES)
+        correlations = np.array(result["correlations"])
+        assert np.allclose(np.diag(correlations), 1.0)
+
+    def test_symmetry(self, run):
+        result = run("pearson_correlation", y=VOLUMES)
+        correlations = np.array(result["correlations"])
+        assert np.allclose(correlations, correlations.T)
+
+    def test_ci_brackets_estimate(self, run):
+        result = run("pearson_correlation", y=["lefthippocampus", "minimentalstate"])
+        r = result["correlations"][0][1]
+        assert result["ci_lower"][0][1] < r < result["ci_upper"][0][1]
+
+    def test_x_variables_merged(self, run):
+        result = run(
+            "pearson_correlation",
+            y=["lefthippocampus"],
+            x=["righthippocampus"],
+        )
+        assert result["variables"] == ["lefthippocampus", "righthippocampus"]
+
+    def test_pairwise_complete_matches_per_pair_reference(self, run, worker_data):
+        result = run(
+            "pearson_correlation",
+            y=["p_tau", "ab_42", "leftententorhinalarea"],
+            parameters={"complete_cases": False},
+        )
+        # reference: pairwise-complete over all workers
+        import numpy as np
+
+        columns = {v: [] for v in result["variables"]}
+        for models in worker_data.values():
+            table = models["dementia"]
+            for v in columns:
+                columns[v].extend(table.column(v).to_list())
+        arrays = {v: np.array([x if x is not None else np.nan for x in vals])
+                  for v, vals in columns.items()}
+        names = result["variables"]
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                a, b = arrays[names[i]], arrays[names[j]]
+                both = ~np.isnan(a) & ~np.isnan(b)
+                reference = np.corrcoef(a[both], b[both])[0, 1]
+                assert result["correlations"][i][j] == pytest.approx(reference, abs=1e-9)
+                assert result["pair_counts"][i][j] == int(both.sum())
+
+    def test_pairwise_keeps_more_rows_than_complete_case(self, run):
+        variables = ["p_tau", "ab_42", "leftententorhinalarea"]
+        complete = run("pearson_correlation", y=variables)
+        pairwise = run("pearson_correlation", y=variables,
+                       parameters={"complete_cases": False})
+        n_complete = complete["n_observations"]
+        counts = np.asarray(pairwise["pair_counts"])
+        off_diagonal = counts[~np.eye(len(variables), dtype=bool)]
+        assert (off_diagonal >= n_complete).all()
+        assert off_diagonal.max() > n_complete  # NA patterns differ per variable
+
+    def test_single_variable_rejected(self, federation):
+        from repro.core.experiment import ExperimentEngine, ExperimentRequest
+
+        engine = ExperimentEngine(federation, aggregation="plain")
+        result = engine.run(
+            ExperimentRequest(
+                algorithm="pearson_correlation",
+                data_model="dementia",
+                datasets=("edsd",),
+                y=("p_tau",),
+            )
+        )
+        assert result.status.value == "error"
+
+
+class TestPCA:
+    def test_eigenvalues_match_numpy(self, run, pooled):
+        result = run("pca", y=VOLUMES)
+        matrix = np.array(pooled(*VOLUMES), dtype=float)
+        reference = np.sort(np.linalg.eigvalsh(np.corrcoef(matrix.T)))[::-1]
+        assert np.allclose(result["eigenvalues"], reference, atol=1e-10)
+
+    def test_eigenvectors_orthonormal(self, run):
+        result = run("pca", y=VOLUMES)
+        vectors = np.array(result["eigenvectors"])  # rows = components
+        assert np.allclose(vectors @ vectors.T, np.eye(len(VOLUMES)), atol=1e-10)
+
+    def test_explained_variance_sums_to_one(self, run):
+        result = run("pca", y=VOLUMES)
+        assert sum(result["explained_variance_ratio"]) == pytest.approx(1.0)
+        cumulative = result["cumulative_explained_variance"]
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == pytest.approx(1.0)
+
+    def test_covariance_mode(self, run, pooled):
+        result = run("pca", y=VOLUMES, parameters={"standardize": False})
+        matrix = np.array(pooled(*VOLUMES), dtype=float)
+        reference = np.sort(np.linalg.eigvalsh(np.cov(matrix.T, ddof=1)))[::-1]
+        assert np.allclose(result["eigenvalues"], reference, atol=1e-10)
+        assert result["standardized"] is False
+
+    def test_sign_convention_deterministic(self, run):
+        a = run("pca", y=VOLUMES)
+        b = run("pca", y=VOLUMES)
+        assert a["eigenvectors"] == b["eigenvectors"]
+        for component in a["eigenvectors"]:
+            pivot = max(range(len(component)), key=lambda i: abs(component[i]))
+            assert component[pivot] > 0
+
+    def test_means_and_stds_reported(self, run, pooled):
+        result = run("pca", y=VOLUMES)
+        matrix = np.array(pooled(*VOLUMES), dtype=float)
+        assert np.allclose(result["means"], matrix.mean(axis=0), atol=1e-10)
+        assert np.allclose(result["stds"], matrix.std(axis=0, ddof=1), atol=1e-10)

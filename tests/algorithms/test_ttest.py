@@ -1,0 +1,101 @@
+"""The t-test family against scipy references."""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+
+class TestIndependent:
+    def test_welch_matches_scipy(self, run, pooled):
+        result = run("ttest_independent", y=["lefthippocampus"], x=["gender"])
+        rows = pooled("lefthippocampus", "gender")
+        females = [v for v, g in rows if g == "F"]
+        males = [v for v, g in rows if g == "M"]
+        reference = scipy.stats.ttest_ind(females, males, equal_var=False)
+        assert result["t_statistic"] == pytest.approx(reference.statistic, abs=1e-9)
+        assert result["p_value"] == pytest.approx(reference.pvalue, abs=1e-9)
+        assert result["welch"] is True
+
+    def test_pooled_matches_scipy(self, run, pooled):
+        result = run(
+            "ttest_independent", y=["lefthippocampus"], x=["gender"],
+            parameters={"equal_variances": True},
+        )
+        rows = pooled("lefthippocampus", "gender")
+        females = [v for v, g in rows if g == "F"]
+        males = [v for v, g in rows if g == "M"]
+        reference = scipy.stats.ttest_ind(females, males, equal_var=True)
+        assert result["t_statistic"] == pytest.approx(reference.statistic, abs=1e-9)
+        assert result["degrees_of_freedom"] == len(rows) - 2
+
+    def test_group_means(self, run, pooled):
+        result = run("ttest_independent", y=["lefthippocampus"], x=["gender"])
+        rows = pooled("lefthippocampus", "gender")
+        females = np.array([v for v, g in rows if g == "F"])
+        assert result["means"][0] == pytest.approx(females.mean())
+        assert result["n_observations"][0] == len(females)
+
+    def test_ci_brackets_difference(self, run):
+        result = run("ttest_independent", y=["lefthippocampus"], x=["gender"])
+        assert result["ci_lower"] < result["mean_difference"] < result["ci_upper"]
+
+    def test_more_than_two_groups_rejected(self, federation):
+        from repro.core.experiment import ExperimentEngine, ExperimentRequest
+
+        engine = ExperimentEngine(federation, aggregation="plain")
+        result = engine.run(
+            ExperimentRequest(
+                algorithm="ttest_independent",
+                data_model="dementia",
+                datasets=("edsd", "adni", "ppmi"),
+                y=("lefthippocampus",),
+                x=("alzheimerbroadcategory",),
+            )
+        )
+        assert result.status.value == "error"
+        assert "exactly 2" in result.error
+
+
+class TestOneSample:
+    def test_matches_scipy(self, run, pooled):
+        result = run("ttest_onesample", y=["p_tau"], parameters={"mu": 55.0})
+        values = [v for (v,) in pooled("p_tau")]
+        reference = scipy.stats.ttest_1samp(values, 55.0)
+        assert result["t_statistic"] == pytest.approx(reference.statistic, abs=1e-9)
+        assert result["p_value"] == pytest.approx(reference.pvalue, abs=1e-9)
+
+    def test_default_mu_zero(self, run):
+        result = run("ttest_onesample", y=["p_tau"])
+        assert result["mu"] == 0.0
+        assert result["t_statistic"] > 10  # p_tau is strictly positive
+
+    def test_cohens_d(self, run, pooled):
+        result = run("ttest_onesample", y=["p_tau"], parameters={"mu": 55.0})
+        values = np.array([v for (v,) in pooled("p_tau")])
+        expected = (values.mean() - 55.0) / values.std(ddof=1)
+        assert result["cohens_d"] == pytest.approx(expected, abs=1e-9)
+
+
+class TestPaired:
+    def test_matches_scipy(self, run, pooled):
+        result = run("ttest_paired", y=["lefthippocampus", "righthippocampus"])
+        rows = pooled("lefthippocampus", "righthippocampus")
+        reference = scipy.stats.ttest_rel(
+            [a for a, _ in rows], [b for _, b in rows]
+        )
+        assert result["t_statistic"] == pytest.approx(reference.statistic, abs=1e-9)
+        assert result["p_value"] == pytest.approx(reference.pvalue, abs=1e-9)
+
+    def test_needs_exactly_two_variables(self, federation):
+        from repro.core.experiment import ExperimentEngine, ExperimentRequest
+
+        engine = ExperimentEngine(federation, aggregation="plain")
+        result = engine.run(
+            ExperimentRequest(
+                algorithm="ttest_paired",
+                data_model="dementia",
+                datasets=("edsd",),
+                y=("p_tau",),
+            )
+        )
+        assert result.status.value == "error"

@@ -1,0 +1,82 @@
+"""The command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, parse_parameter
+
+
+class TestParseParameter:
+    def test_json_values(self):
+        assert parse_parameter("k=3") == ("k", 3)
+        assert parse_parameter("e=0.5") == ("e", 0.5)
+        assert parse_parameter("flag=true") == ("flag", True)
+
+    def test_string_fallback(self):
+        assert parse_parameter("mode=fast") == ("mode", "fast")
+
+    def test_missing_equals(self):
+        with pytest.raises(SystemExit):
+            parse_parameter("k")
+
+
+class TestCommands:
+    def test_catalogue(self, capsys):
+        code = main(["catalogue"])
+        assert code == 0
+        output = json.loads(capsys.readouterr().out)
+        assert "dementia" in output
+        assert "edsd" in output["dementia"]["datasets"]
+
+    def test_algorithms(self, capsys):
+        code = main(["algorithms"])
+        assert code == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert any(entry["name"] == "kmeans" for entry in listing)
+
+    def test_run_success(self, capsys):
+        code = main([
+            "run", "--algorithm", "ttest_onesample", "-y", "p_tau",
+            "--param", "mu=50", "--rows", "80", "--aggregation", "plain",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "success"
+        assert "t_statistic" in payload["result"]
+
+    def test_run_failure_exit_code(self, capsys):
+        code = main([
+            "run", "--algorithm", "kmeans", "-y", "p_tau",
+            "--rows", "80", "--aggregation", "plain",  # k missing
+        ])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "error"
+        assert "required" in payload["error"]
+
+    def test_run_with_filter_and_datasets(self, capsys):
+        code = main([
+            "run", "--algorithm", "ttest_onesample", "-y", "p_tau",
+            "--datasets", "edsd", "--filter", "agevalue > 60",
+            "--rows", "150", "--aggregation", "plain",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workers"] == ["hospital_edsd"]
+
+    def test_run_from_csv(self, capsys, tmp_path):
+        lines = ["dataset,p_tau,lefthippocampus"]
+        for index in range(40):
+            lines.append(f"csvsite,{50 + index % 20},{2.5 + (index % 10) / 10}")
+        path = tmp_path / "export.csv"
+        path.write_text("\n".join(lines) + "\n")
+        code = main([
+            "run", "--algorithm", "pearson_correlation",
+            "-y", "p_tau", "-y", "lefthippocampus",
+            "--csv", f"site_a={path}", "--aggregation", "plain",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "success"
+        assert payload["result"]["n_observations"] == 40

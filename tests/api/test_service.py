@@ -1,0 +1,114 @@
+"""The MIPService facade (the dashboard's backend surface)."""
+
+import pytest
+
+from repro.api.service import MIPService
+from repro.errors import CatalogError
+
+
+@pytest.fixture(scope="module")
+def service(federation):
+    return MIPService(federation, aggregation="plain")
+
+
+class TestCatalogue:
+    def test_data_models(self, service):
+        assert service.data_models() == ["dementia"]
+
+    def test_datasets_with_holders(self, service):
+        datasets = service.datasets("dementia")
+        assert datasets["edsd"] == ["hospital_a"]
+        assert datasets["adni"] == ["hospital_b"]
+        assert datasets["ppmi"] == ["hospital_c"]
+
+    def test_unknown_model(self, service):
+        with pytest.raises(CatalogError):
+            service.datasets("genomics")
+
+    def test_variables_listing(self, service):
+        variables = {v["code"]: v for v in service.variables("dementia")}
+        assert variables["p_tau"]["kind"] == "numeric"
+        assert variables["p_tau"]["unit"] == "pg/mL"
+        assert variables["gender"]["enumerations"] == ["F", "M"]
+
+
+class TestAlgorithmsPanel:
+    def test_all_registered_listed(self, service):
+        names = [a["name"] for a in service.algorithms()]
+        assert "kmeans" in names
+        assert "linear_regression" in names
+        assert len(names) >= 15
+
+    def test_parameter_specs_exposed(self, service):
+        kmeans = next(a for a in service.algorithms() if a["name"] == "kmeans")
+        params = {p["name"]: p for p in kmeans["parameters"]}
+        assert params["k"]["required"] is True
+        assert params["k"]["min"] == 1
+        assert params["e"]["default"] == pytest.approx(1e-4)
+
+
+class TestExperimentLifecycle:
+    def test_run_poll_history(self, service):
+        result = service.run_experiment(
+            "ttest_onesample", "dementia", ["edsd"], y=["p_tau"],
+            parameters={"mu": 50.0}, name="demo",
+        )
+        assert result.status.value == "success"
+        assert service.experiment(result.experiment_id) is result
+        assert result in service.experiments()
+        assert result.request.name == "demo"
+
+    def test_failed_experiment_recorded(self, service):
+        result = service.run_experiment(
+            "kmeans", "dementia", ["edsd"], y=["p_tau"], parameters={},
+        )
+        assert result.status.value == "error"  # k is required
+        assert "required" in result.error
+        assert service.experiment(result.experiment_id).status.value == "error"
+
+    def test_status_endpoint(self, service):
+        status = service.status()
+        assert set(status["workers"]) == {"hospital_a", "hospital_b", "hospital_c"}
+        assert all(state == "up" for state in status["workers"].values())
+        assert status["data_models"] == {"dementia": ["adni", "edsd", "ppmi"]}
+        assert status["caseload_rows"]["dementia"] == 450  # 3 x 150 fixture rows
+        assert status["smpc"]["scheme"] == "shamir"
+        assert status["experiments"]["total"] >= 1
+
+    def test_status_reflects_down_worker(self, fresh_federation):
+        from repro.api.service import MIPService
+
+        service = MIPService(fresh_federation, aggregation="plain")
+        fresh_federation.set_worker_down("hospital_b")
+        status = service.status()
+        assert status["workers"]["hospital_b"] == "down"
+        assert "adni" not in status["data_models"]["dementia"]
+
+    def test_result_level_noise(self, federation):
+        """The service can inject DP noise into every released aggregate."""
+        from repro.api.service import MIPService
+        from repro.smpc.cluster import NoiseSpec
+
+        clean_service = MIPService(federation, aggregation="smpc")
+        noisy_service = MIPService(
+            federation, aggregation="smpc", noise=NoiseSpec("gaussian", 5.0)
+        )
+        clean = clean_service.run_experiment(
+            "ttest_onesample", "dementia", ["edsd"], y=["p_tau"],
+        )
+        noisy = noisy_service.run_experiment(
+            "ttest_onesample", "dementia", ["edsd"], y=["p_tau"],
+        )
+        assert clean.status.value == noisy.status.value == "success"
+        assert noisy.result["mean"] != clean.result["mean"]
+        assert abs(noisy.result["mean"] - clean.result["mean"]) < 5.0
+
+    def test_kmeans_like_figure_3(self, service):
+        """The Figure 3 flow: pick k-means, set k, run, read clusters."""
+        result = service.run_experiment(
+            "kmeans", "dementia", ["edsd", "adni", "ppmi"],
+            y=["ab_42", "p_tau", "leftententorhinalarea"],
+            parameters={"k": 3, "e": 0.01, "iterations_max_number": 50, "seed": 1},
+        )
+        assert result.status.value == "success"
+        assert len(result.result["centroids"]) == 3

@@ -1,0 +1,119 @@
+"""Workflows: chained experiments with cross-step references."""
+
+import pytest
+
+from repro.api.service import MIPService
+from repro.api.workflow import Workflow, WorkflowStep
+from repro.errors import SpecificationError
+
+
+@pytest.fixture(scope="module")
+def service(federation):
+    return MIPService(federation, aggregation="plain")
+
+
+class TestConstruction:
+    def test_needs_steps(self):
+        with pytest.raises(SpecificationError):
+            Workflow([])
+
+    def test_duplicate_names_rejected(self):
+        steps = [
+            WorkflowStep("a", "descriptive_stats", y=["p_tau"]),
+            WorkflowStep("a", "descriptive_stats", y=["p_tau"]),
+        ]
+        with pytest.raises(SpecificationError, match="duplicate"):
+            Workflow(steps)
+
+
+class TestExecution:
+    def test_static_chain(self, service):
+        workflow = Workflow([
+            WorkflowStep("explore", "descriptive_stats", y=["p_tau"]),
+            WorkflowStep("test", "ttest_onesample", y=["p_tau"],
+                         parameters={"mu": 50.0}),
+        ])
+        outcome = workflow.run(service)
+        assert outcome.succeeded
+        assert list(outcome.steps) == ["explore", "test"]
+        assert outcome.result_of("test")["t_statistic"] is not None
+
+    def test_dynamic_field_reads_previous_step(self, service):
+        """Step 2's hypothesized mean comes from step 1's pooled mean —
+        the classic explore-then-model chain."""
+        workflow = Workflow([
+            WorkflowStep("explore", "descriptive_stats", y=["p_tau"]),
+            WorkflowStep(
+                "test", "ttest_onesample", y=["p_tau"],
+                parameters=lambda results: {
+                    "mu": results["explore"]["pooled"]["p_tau"]["mean"]
+                },
+            ),
+        ])
+        outcome = workflow.run(service)
+        assert outcome.succeeded
+        # testing against the observed mean: t must be ~0
+        assert abs(outcome.result_of("test")["t_statistic"]) < 1e-6
+
+    def test_dynamic_filter(self, service):
+        workflow = Workflow([
+            WorkflowStep("explore", "descriptive_stats", y=["agevalue"]),
+            WorkflowStep(
+                "older", "ttest_onesample", y=["p_tau"],
+                filter_sql=lambda results: (
+                    f"agevalue > {results['explore']['pooled']['agevalue']['q2']}"
+                ),
+            ),
+        ])
+        outcome = workflow.run(service)
+        assert outcome.succeeded
+        full = service.run_experiment("ttest_onesample", "dementia",
+                                      sorted(service.datasets("dementia")),
+                                      y=["p_tau"])
+        assert (outcome.result_of("older")["n_observations"]
+                < full.result["n_observations"])
+
+    def test_stop_on_error(self, service):
+        workflow = Workflow([
+            WorkflowStep("bad", "kmeans", y=["p_tau"]),  # k missing
+            WorkflowStep("never", "ttest_onesample", y=["p_tau"]),
+        ])
+        outcome = workflow.run(service)
+        assert not outcome.succeeded
+        assert outcome.failed_step == "bad"
+        assert "never" not in outcome.steps
+
+    def test_continue_on_error(self, service):
+        workflow = Workflow([
+            WorkflowStep("bad", "kmeans", y=["p_tau"]),
+            WorkflowStep("still_runs", "ttest_onesample", y=["p_tau"]),
+        ])
+        outcome = workflow.run(service, stop_on_error=False)
+        assert outcome.failed_step == "bad"
+        assert outcome.steps["still_runs"].status.value == "success"
+
+    def test_workflow_over_smpc_path(self, federation):
+        smpc_service = MIPService(federation, aggregation="smpc")
+        workflow = Workflow([
+            WorkflowStep("explore", "descriptive_stats", y=["lefthippocampus"]),
+            WorkflowStep(
+                "model", "linear_regression",
+                y=["lefthippocampus"], x=["agevalue"],
+                filter_sql=lambda results: (
+                    f"lefthippocampus > {results['explore']['pooled']['lefthippocampus']['q1']}"
+                ),
+            ),
+        ])
+        outcome = workflow.run(smpc_service)
+        assert outcome.succeeded
+        model = outcome.result_of("model")
+        explore = outcome.result_of("explore")
+        # the filter kept roughly the top three quartiles
+        assert model["n_observations"] < explore["pooled"]["lefthippocampus"]["datapoints"]
+
+    def test_experiment_names_carry_step_names(self, service):
+        workflow = Workflow([
+            WorkflowStep("named_step", "ttest_onesample", y=["p_tau"]),
+        ])
+        outcome = workflow.run(service)
+        assert outcome.steps["named_step"].request.name == "named_step"

@@ -1,0 +1,52 @@
+"""Shared fixtures: small federations and cohorts sized for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.cohorts import CohortSpec, generate_cohort
+from repro.federation.controller import FederationConfig, create_federation
+
+import repro.algorithms  # noqa: F401  (register algorithms once)
+
+
+def small_worker_data(rows: int = 150):
+    """Three hospitals, one dataset each."""
+    return {
+        "hospital_a": {"dementia": generate_cohort(CohortSpec("edsd", rows, seed=11))},
+        "hospital_b": {"dementia": generate_cohort(CohortSpec("adni", rows, seed=22))},
+        "hospital_c": {"dementia": generate_cohort(CohortSpec("ppmi", rows, seed=33))},
+    }
+
+
+@pytest.fixture(scope="session")
+def worker_data():
+    return small_worker_data()
+
+
+@pytest.fixture(scope="session")
+def federation(worker_data):
+    """A shared federation for read-only experiment tests (plain transport)."""
+    return create_federation(
+        worker_data, FederationConfig(smpc_nodes=3, smpc_scheme="shamir", seed=101)
+    )
+
+
+@pytest.fixture()
+def fresh_federation(worker_data):
+    """A private federation for tests that mutate state or inject failures."""
+    return create_federation(
+        worker_data, FederationConfig(smpc_nodes=3, smpc_scheme="shamir", seed=202)
+    )
+
+
+def pooled_rows(worker_data, *columns, data_model: str = "dementia"):
+    """Centralized reference: complete-case rows across all workers."""
+    rows = []
+    for models in worker_data.values():
+        table = models[data_model]
+        lists = [table.column(c).to_list() for c in columns]
+        for row in zip(*lists):
+            if None not in row:
+                rows.append(row)
+    return rows

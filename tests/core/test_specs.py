@@ -1,0 +1,82 @@
+"""Algorithm parameter specifications."""
+
+import pytest
+
+from repro.core.specs import ParameterSpec, validate_parameters
+from repro.errors import SpecificationError
+
+
+class TestParameterSpec:
+    def test_default_filled(self):
+        spec = ParameterSpec("k", "int", default=3)
+        assert spec.validate(None) == 3
+
+    def test_required_enforced(self):
+        spec = ParameterSpec("k", "int", required=True)
+        with pytest.raises(SpecificationError, match="required"):
+            spec.validate(None)
+
+    def test_int_coercion(self):
+        spec = ParameterSpec("k", "int")
+        assert spec.validate(3.0) == 3
+        with pytest.raises(SpecificationError):
+            spec.validate(3.5)
+        with pytest.raises(SpecificationError):
+            spec.validate("3")
+        with pytest.raises(SpecificationError):
+            spec.validate(True)  # bools are not ints here
+
+    def test_real_coercion(self):
+        spec = ParameterSpec("e", "real")
+        assert spec.validate(2) == 2.0
+        with pytest.raises(SpecificationError):
+            spec.validate("x")
+
+    def test_text(self):
+        spec = ParameterSpec("s", "text")
+        assert spec.validate("hello") == "hello"
+        with pytest.raises(SpecificationError):
+            spec.validate(5)
+
+    def test_bool(self):
+        spec = ParameterSpec("b", "bool")
+        assert spec.validate(True) is True
+        with pytest.raises(SpecificationError):
+            spec.validate(1)
+
+    def test_range_checks(self):
+        spec = ParameterSpec("k", "int", min_value=1, max_value=10)
+        assert spec.validate(5) == 5
+        with pytest.raises(SpecificationError, match="below minimum"):
+            spec.validate(0)
+        with pytest.raises(SpecificationError, match="above maximum"):
+            spec.validate(11)
+
+    def test_enums(self):
+        spec = ParameterSpec("mode", "text", enums=("a", "b"))
+        assert spec.validate("a") == "a"
+        with pytest.raises(SpecificationError):
+            spec.validate("c")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SpecificationError):
+            ParameterSpec("x", "complex")
+
+
+class TestValidateParameters:
+    SPECS = (
+        ParameterSpec("k", "int", required=True, min_value=1),
+        ParameterSpec("e", "real", default=1e-4),
+    )
+
+    def test_defaults_and_provided(self):
+        result = validate_parameters(self.SPECS, {"k": 3})
+        assert result == {"k": 3, "e": 1e-4}
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(SpecificationError, match="unknown"):
+            validate_parameters(self.SPECS, {"k": 3, "zeta": 1})
+
+    def test_none_provided(self):
+        with pytest.raises(SpecificationError):
+            validate_parameters(self.SPECS, None)

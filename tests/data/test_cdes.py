@@ -1,0 +1,81 @@
+"""Common Data Elements and the catalogue registry."""
+
+import pytest
+
+from repro.data.cdes import (
+    CDERegistry,
+    CommonDataElement,
+    DataModel,
+    cde_registry,
+    dementia_data_model,
+)
+from repro.engine.types import SQLType
+from repro.errors import CatalogError, SpecificationError
+
+
+class TestCommonDataElement:
+    def test_nominal_requires_enumerations(self):
+        with pytest.raises(SpecificationError):
+            CommonDataElement("x", "X", SQLType.VARCHAR, is_categorical=True)
+
+    def test_numeric_rejects_enumerations(self):
+        with pytest.raises(SpecificationError):
+            CommonDataElement("x", "X", SQLType.REAL, enumerations=("a",))
+
+    def test_kind(self):
+        numeric = CommonDataElement("x", "X", SQLType.REAL)
+        nominal = CommonDataElement("g", "G", SQLType.VARCHAR,
+                                    is_categorical=True, enumerations=("a", "b"))
+        assert numeric.kind == "numeric"
+        assert nominal.kind == "nominal"
+
+    def test_metadata_dict(self):
+        cde = CommonDataElement("x", "X", SQLType.REAL, min_value=0, max_value=10)
+        metadata = cde.to_metadata()
+        assert metadata["is_categorical"] is False
+        assert metadata["min"] == 0
+        assert metadata["max"] == 10
+
+
+class TestDementiaModel:
+    def test_core_variables_present(self):
+        model = dementia_data_model()
+        for code in ("dataset", "alzheimerbroadcategory", "p_tau", "ab_42",
+                     "lefthippocampus", "leftententorhinalarea", "gender"):
+            assert code in model.cdes
+
+    def test_validate_variables(self):
+        model = dementia_data_model()
+        model.validate_variables(["p_tau"], ["numeric"])
+        with pytest.raises(SpecificationError):
+            model.validate_variables(["gender"], ["numeric"])
+        with pytest.raises(CatalogError):
+            model.validate_variables(["bogus"], ["numeric"])
+
+    def test_metadata_for(self):
+        model = dementia_data_model()
+        metadata = model.metadata_for(["gender"])
+        assert metadata["gender"]["enumerations"] == ["F", "M"]
+
+    def test_variables_sorted(self):
+        model = dementia_data_model()
+        assert model.variables() == sorted(model.variables())
+
+
+class TestRegistry:
+    def test_default_model_registered(self):
+        assert "dementia" in cde_registry
+        assert "dementia" in cde_registry.names()
+
+    def test_register_and_replace(self):
+        registry = CDERegistry()
+        model = dementia_data_model()
+        registry.register(model)
+        with pytest.raises(CatalogError):
+            registry.register(model)
+        registry.register(model, replace=True)
+
+    def test_get_unknown(self):
+        registry = CDERegistry()
+        with pytest.raises(CatalogError):
+            registry.get("ghost")

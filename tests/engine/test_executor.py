@@ -1,0 +1,164 @@
+"""Query execution: projections, filters, aggregation, NULL semantics."""
+
+import pytest
+
+from repro.engine.database import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (a INT, b REAL, c VARCHAR, d BOOL)")
+    database.execute(
+        "INSERT INTO t VALUES "
+        "(1, 1.5, 'x', TRUE), (2, NULL, 'y', FALSE), "
+        "(3, 3.5, NULL, TRUE), (4, 4.5, 'x', NULL)"
+    )
+    return database
+
+
+class TestProjection:
+    def test_star(self, db):
+        assert db.query("SELECT * FROM t").num_rows == 4
+
+    def test_expressions(self, db):
+        rows = db.query("SELECT a * 2 AS twice, a + b AS s FROM t").to_rows()
+        assert rows[0] == (2, 2.5)
+        assert rows[1] == (4, None)  # NULL propagates through +
+
+    def test_select_without_from(self, db):
+        assert db.query("SELECT 2 + 3 AS v").to_rows() == [(5,)]
+
+    def test_division_is_real_and_null_on_zero(self, db):
+        rows = db.query("SELECT a / 2 AS h, a / 0 AS z FROM t LIMIT 1").to_rows()
+        assert rows[0] == (0.5, None)
+
+    def test_case_expression(self, db):
+        rows = db.query(
+            "SELECT CASE WHEN a < 3 THEN 'low' ELSE 'high' END AS tier FROM t"
+        ).to_rows()
+        assert [r[0] for r in rows] == ["low", "low", "high", "high"]
+
+    def test_cast(self, db):
+        rows = db.query("SELECT CAST(a AS VARCHAR) AS s FROM t LIMIT 1").to_rows()
+        assert rows == [("1",)]
+
+    def test_scalar_functions(self, db):
+        rows = db.query("SELECT ABS(-a) AS p, SQRT(b) AS r FROM t LIMIT 1").to_rows()
+        assert rows[0][0] == 1
+        assert rows[0][1] == pytest.approx(1.2247, abs=1e-3)
+
+    def test_sqrt_of_negative_is_null(self, db):
+        assert db.scalar("SELECT SQRT(0 - 4.0)") is None
+
+    def test_coalesce(self, db):
+        rows = db.query("SELECT COALESCE(b, 0.0) AS v FROM t").to_rows()
+        assert [r[0] for r in rows] == [1.5, 0.0, 3.5, 4.5]
+
+    def test_string_functions(self, db):
+        rows = db.query("SELECT UPPER(c) AS u, LENGTH(c) AS n FROM t WHERE c IS NOT NULL").to_rows()
+        assert rows[0] == ("X", 1)
+
+
+class TestWhere:
+    def test_comparison(self, db):
+        assert db.query("SELECT a FROM t WHERE a >= 3").num_rows == 2
+
+    def test_null_comparison_filters_out(self, db):
+        # b = NULL row: comparison yields NULL -> excluded
+        assert db.query("SELECT a FROM t WHERE b > 0").num_rows == 3
+
+    def test_is_null(self, db):
+        assert db.query("SELECT a FROM t WHERE b IS NULL").to_rows() == [(2,)]
+        assert db.query("SELECT a FROM t WHERE b IS NOT NULL").num_rows == 3
+
+    def test_in_list(self, db):
+        assert db.query("SELECT a FROM t WHERE c IN ('x')").num_rows == 2
+        assert db.query("SELECT a FROM t WHERE a NOT IN (1, 2)").num_rows == 2
+
+    def test_between(self, db):
+        assert db.query("SELECT a FROM t WHERE a BETWEEN 2 AND 3").num_rows == 2
+
+    def test_boolean_column(self, db):
+        assert db.query("SELECT a FROM t WHERE d").num_rows == 2
+        assert db.query("SELECT a FROM t WHERE NOT d").num_rows == 1
+
+    def test_kleene_and(self, db):
+        # FALSE AND NULL is FALSE, so the d-NULL row is excluded, not an error.
+        assert db.query("SELECT a FROM t WHERE d AND b IS NULL").to_rows() == []
+
+    def test_kleene_or(self, db):
+        # TRUE OR NULL is TRUE: row 4 (d NULL) qualifies via a = 4.
+        assert db.query("SELECT a FROM t WHERE d OR a = 4").num_rows == 3
+
+
+class TestAggregation:
+    def test_plain_aggregates(self, db):
+        row = db.query(
+            "SELECT COUNT(*) AS n, COUNT(b) AS nb, SUM(a) AS s, AVG(b) AS m, "
+            "MIN(a) AS lo, MAX(a) AS hi FROM t"
+        ).to_rows()[0]
+        assert row == (4, 3, 10, pytest.approx(19 / 6), 1, 4)
+
+    def test_stddev(self, db):
+        value = db.scalar("SELECT STDDEV(a) FROM t")
+        assert value == pytest.approx(1.29099, abs=1e-4)
+
+    def test_count_distinct(self, db):
+        assert db.scalar("SELECT COUNT(DISTINCT c) FROM t") == 2
+
+    def test_group_by(self, db):
+        rows = db.query(
+            "SELECT c, COUNT(*) AS n, SUM(a) AS s FROM t GROUP BY c ORDER BY n DESC"
+        ).to_rows()
+        assert rows[0] == ("x", 2, 5)
+
+    def test_group_by_null_key_is_a_group(self, db):
+        rows = db.query("SELECT c, COUNT(*) AS n FROM t GROUP BY c").to_rows()
+        assert (None, 1) in rows
+
+    def test_having(self, db):
+        rows = db.query(
+            "SELECT c, COUNT(*) AS n FROM t GROUP BY c HAVING COUNT(*) > 1"
+        ).to_rows()
+        assert rows == [("x", 2)]
+
+    def test_aggregate_over_empty_is_null(self, db):
+        row = db.query("SELECT SUM(a) AS s, COUNT(*) AS n FROM t WHERE a > 99").to_rows()
+        assert row == [(None, 0)]
+
+    def test_aggregate_expression(self, db):
+        value = db.scalar("SELECT SUM(a) + COUNT(*) FROM t")
+        assert value == 14
+
+    def test_avg_ignores_nulls(self, db):
+        assert db.scalar("SELECT AVG(b) FROM t") == pytest.approx((1.5 + 3.5 + 4.5) / 3)
+
+
+class TestOrderLimit:
+    def test_order_desc(self, db):
+        rows = db.query("SELECT a FROM t ORDER BY a DESC").to_rows()
+        assert [r[0] for r in rows] == [4, 3, 2, 1]
+
+    def test_order_nulls_last(self, db):
+        rows = db.query("SELECT b FROM t ORDER BY b").to_rows()
+        assert rows[-1][0] is None
+
+    def test_order_by_string(self, db):
+        rows = db.query("SELECT c FROM t WHERE c IS NOT NULL ORDER BY c").to_rows()
+        assert [r[0] for r in rows] == ["x", "x", "y"]
+
+    def test_limit(self, db):
+        assert db.query("SELECT a FROM t ORDER BY a LIMIT 2").num_rows == 2
+
+    def test_order_by_expression(self, db):
+        rows = db.query("SELECT a FROM t ORDER BY a * -1").to_rows()
+        assert rows[0][0] == 4
+
+
+class TestSubqueries:
+    def test_nested_select(self, db):
+        value = db.scalar(
+            "SELECT SUM(v) FROM (SELECT a * 2 AS v FROM t WHERE a <= 2) AS s"
+        )
+        assert value == 6

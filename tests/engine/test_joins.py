@@ -1,0 +1,207 @@
+"""JOINs and DISTINCT in the engine."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.errors import ExecutionError
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("CREATE TABLE patients (pid INT, site VARCHAR)")
+    database.execute("INSERT INTO patients VALUES (1,'a'), (2,'a'), (3,'b'), (4,'c')")
+    database.execute("CREATE TABLE visits (pid INT, score REAL)")
+    database.execute("INSERT INTO visits VALUES (1, 10.0), (1, 12.0), (2, 8.0), (9, 1.0)")
+    return database
+
+
+class TestInnerJoin:
+    def test_equi_join(self, db):
+        rows = db.query(
+            "SELECT p.pid, v.score FROM patients p JOIN visits v ON p.pid = v.pid "
+            "ORDER BY p.pid, v.score"
+        ).to_rows()
+        assert rows == [(1, 10.0), (1, 12.0), (2, 8.0)]
+
+    def test_inner_keyword(self, db):
+        rows = db.query(
+            "SELECT COUNT(*) FROM patients p INNER JOIN visits v ON p.pid = v.pid"
+        ).to_rows()
+        assert rows == [(3,)]
+
+    def test_unqualified_unique_columns(self, db):
+        rows = db.query(
+            "SELECT site, score FROM patients p JOIN visits v ON p.pid = v.pid "
+            "ORDER BY score"
+        ).to_rows()
+        assert rows[0] == ("a", 8.0)
+
+    def test_ambiguous_reference_rejected(self, db):
+        with pytest.raises(ExecutionError, match="ambiguous"):
+            db.query("SELECT pid FROM patients p JOIN visits v ON p.pid = v.pid")
+
+    def test_residual_condition(self, db):
+        rows = db.query(
+            "SELECT v.score FROM patients p JOIN visits v "
+            "ON p.pid = v.pid AND v.score > 9 ORDER BY v.score"
+        ).to_rows()
+        assert rows == [(10.0,), (12.0,)]
+
+    def test_join_then_group_by(self, db):
+        rows = db.query(
+            "SELECT site, AVG(score) AS mean FROM patients p "
+            "JOIN visits v ON p.pid = v.pid GROUP BY site"
+        ).to_rows()
+        assert rows == [("a", pytest.approx(10.0))]
+
+    def test_three_way_join(self, db):
+        db.execute("CREATE TABLE sites (site VARCHAR, region VARCHAR)")
+        db.execute("INSERT INTO sites VALUES ('a','north'), ('b','south')")
+        rows = db.query(
+            "SELECT s.region, COUNT(*) AS n FROM patients p "
+            "JOIN visits v ON p.pid = v.pid "
+            "JOIN sites s ON p.site = s.site GROUP BY s.region"
+        ).to_rows()
+        assert rows == [("north", 3)]
+
+    def test_null_keys_never_match(self, db):
+        db.execute("INSERT INTO patients VALUES (NULL, 'z')")
+        db.execute("INSERT INTO visits VALUES (NULL, 99.0)")
+        rows = db.query(
+            "SELECT COUNT(*) FROM patients p JOIN visits v ON p.pid = v.pid"
+        ).to_rows()
+        assert rows == [(3,)]
+
+    def test_duplicate_output_columns_rejected(self, db):
+        # joining a table to itself without distinct aliases
+        with pytest.raises(ExecutionError, match="duplicate"):
+            db.query("SELECT * FROM patients p JOIN patients p ON p.pid = p.pid")
+
+
+class TestLeftJoin:
+    def test_unmatched_left_rows_padded(self, db):
+        rows = db.query(
+            "SELECT p.pid, v.score FROM patients p LEFT JOIN visits v "
+            "ON p.pid = v.pid ORDER BY p.pid, v.score"
+        ).to_rows()
+        assert (3, None) in rows
+        assert (4, None) in rows
+        assert len(rows) == 5
+
+    def test_left_outer_synonym(self, db):
+        rows = db.query(
+            "SELECT COUNT(*) FROM patients p LEFT OUTER JOIN visits v ON p.pid = v.pid"
+        ).to_rows()
+        assert rows == [(5,)]
+
+    def test_is_null_detects_missing(self, db):
+        rows = db.query(
+            "SELECT p.pid FROM patients p LEFT JOIN visits v ON p.pid = v.pid "
+            "WHERE v.score IS NULL ORDER BY p.pid"
+        ).to_rows()
+        assert rows == [(3,), (4,)]
+
+
+class TestNonEquiJoin:
+    def test_cartesian_with_predicate(self, db):
+        rows = db.query(
+            "SELECT p.pid, v.score FROM patients p JOIN visits v ON v.score > 11"
+        ).to_rows()
+        assert len(rows) == 4  # every patient against the single 12.0 visit
+        assert all(score == 12.0 for _, score in rows)
+
+    def test_size_guard(self):
+        db = Database()
+        db.execute("CREATE TABLE big (v INT)")
+        from repro.engine.database import table_from_arrays
+        import numpy as np
+
+        db.register_table("big", table_from_arrays(["v"], [np.arange(2000)]),
+                          replace=True)
+        with pytest.raises(ExecutionError, match="too large"):
+            db.query("SELECT COUNT(*) FROM big a JOIN big b ON a.v < b.v")
+
+
+class TestColumnResolution:
+    def test_qualified_reference_to_plain_table(self, db):
+        """`t.column` works even outside joins, resolving to the bare column."""
+        rows = db.query("SELECT patients.pid FROM patients ORDER BY patients.pid").to_rows()
+        assert rows[0] == (1,)
+
+    def test_alias_qualified_in_where(self, db):
+        rows = db.query(
+            "SELECT p.pid FROM patients p JOIN visits v ON p.pid = v.pid "
+            "WHERE p.site = 'a' AND v.score >= 10 ORDER BY v.score"
+        ).to_rows()
+        assert rows == [(1,), (1,)]
+
+    def test_qualified_in_group_by_and_aggregate(self, db):
+        rows = db.query(
+            "SELECT p.site, MAX(v.score) AS top FROM patients p "
+            "JOIN visits v ON p.pid = v.pid GROUP BY p.site"
+        ).to_rows()
+        assert rows == [("a", 12.0)]
+
+    def test_qualifier_on_plain_source_is_not_validated(self, db):
+        """Documented leniency: outside joins the source carries no alias at
+        evaluation time, so a dotted reference resolves by its bare column
+        name regardless of the qualifier."""
+        rows = db.query("SELECT ghost.pid FROM patients ORDER BY 1 LIMIT 1").to_rows()
+        assert rows == [(1,)]
+
+    def test_unknown_bare_reference(self, db):
+        with pytest.raises(ExecutionError, match="no such column"):
+            db.query("SELECT nonexistent FROM patients")
+
+
+class TestLike:
+    def test_prefix_and_suffix(self, db):
+        db.execute("CREATE TABLE names (n VARCHAR)")
+        db.execute("INSERT INTO names VALUES ('lefthippocampus'), "
+                   "('righthippocampus'), ('brainstem'), (NULL)")
+        rows = db.query("SELECT n FROM names WHERE n LIKE '%hippocampus'").to_rows()
+        assert len(rows) == 2
+        rows = db.query("SELECT n FROM names WHERE n LIKE 'left%'").to_rows()
+        assert rows == [("lefthippocampus",)]
+
+    def test_underscore_single_character(self, db):
+        db.execute("CREATE TABLE codes (c VARCHAR)")
+        db.execute("INSERT INTO codes VALUES ('ab1'), ('ab22'), ('ab3')")
+        rows = db.query("SELECT c FROM codes WHERE c LIKE 'ab_'").to_rows()
+        assert {r[0] for r in rows} == {"ab1", "ab3"}
+
+    def test_not_like_excludes_nulls(self, db):
+        db.execute("CREATE TABLE names2 (n VARCHAR)")
+        db.execute("INSERT INTO names2 VALUES ('x'), (NULL)")
+        rows = db.query("SELECT n FROM names2 WHERE n NOT LIKE 'y%'").to_rows()
+        assert rows == [("x",)]  # NULL LIKE anything is NULL -> filtered
+
+    def test_regex_metacharacters_are_literal(self, db):
+        db.execute("CREATE TABLE weird (w VARCHAR)")
+        db.execute("INSERT INTO weird VALUES ('a.b'), ('axb')")
+        rows = db.query("SELECT w FROM weird WHERE w LIKE 'a.b'").to_rows()
+        assert rows == [("a.b",)]
+
+    def test_like_on_numeric_rejected(self, db):
+        import pytest as _pytest
+
+        from repro.errors import TypeMismatchError
+
+        with _pytest.raises(TypeMismatchError):
+            db.query("SELECT pid FROM patients WHERE pid LIKE '1%'")
+
+
+class TestDistinct:
+    def test_distinct_rows(self, db):
+        rows = db.query("SELECT DISTINCT site FROM patients ORDER BY site").to_rows()
+        assert rows == [("a",), ("b",), ("c",)]
+
+    def test_distinct_multi_column(self, db):
+        db.execute("INSERT INTO patients VALUES (1, 'a')")  # duplicate row
+        rows = db.query("SELECT DISTINCT pid, site FROM patients").to_rows()
+        assert len(rows) == 4
+
+    def test_distinct_preserves_first_occurrence_order(self, db):
+        rows = db.query("SELECT DISTINCT site FROM patients").to_rows()
+        assert rows == [("a",), ("b",), ("c",)]

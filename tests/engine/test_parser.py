@@ -1,0 +1,231 @@
+"""SQL parser: statements, expressions, and error reporting."""
+
+import pytest
+
+from repro.engine import expressions as ast
+from repro.engine.parser import parse, parse_expression, tokenize
+from repro.engine.types import SQLType
+from repro.errors import ParseError
+
+
+class TestTokenizer:
+    def test_numbers(self):
+        kinds = [t.kind for t in tokenize("1 2.5 .5 1e3")]
+        assert kinds[:4] == ["number"] * 4
+
+    def test_string_escapes(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].text == "'it''s'"
+
+    def test_comment_skipped(self):
+        tokens = tokenize("SELECT -- a comment\n1")
+        assert [t.text for t in tokens[:2]] == ["SELECT", "1"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("SELECT @")
+
+    def test_brace_body_single_token(self):
+        tokens = tokenize("{ return {'a': 1} }")
+        assert tokens[0].kind == "body"
+        assert "return" in tokens[0].text
+
+    def test_brace_body_with_quoted_braces(self):
+        tokens = tokenize('{ x = "}" }')
+        assert tokens[0].kind == "body"
+        assert tokens[0].text.strip() == 'x = "}"'
+
+    def test_unterminated_body(self):
+        with pytest.raises(ParseError):
+            tokenize("{ open")
+
+
+class TestSelectParsing:
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.items == ()
+        assert stmt.source == ast.NamedTable("t")
+
+    def test_projection_aliases(self):
+        stmt = parse("SELECT a AS x, b + 1 y, c FROM t")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.items[2].alias is None
+
+    def test_where_precedence(self):
+        stmt = parse("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        # AND binds tighter than OR
+        assert isinstance(stmt.where, ast.BinaryOp)
+        assert stmt.where.op == "OR"
+        assert stmt.where.right.op == "AND"
+
+    def test_group_by_having(self):
+        stmt = parse("SELECT c, COUNT(*) FROM t GROUP BY c HAVING COUNT(*) > 2")
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_limit(self):
+        stmt = parse("SELECT a FROM t ORDER BY a DESC, b LIMIT 5")
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+        assert stmt.limit == 5
+
+    def test_subquery_source(self):
+        stmt = parse("SELECT a FROM (SELECT a FROM t) AS s")
+        assert isinstance(stmt.source, ast.SubquerySource)
+        assert stmt.source.alias == "s"
+
+    def test_udf_call_source(self):
+        stmt = parse("SELECT * FROM f((SELECT a FROM t), 3, 'x')")
+        assert isinstance(stmt.source, ast.UDFCall)
+        assert len(stmt.source.query_args) == 1
+        assert stmt.source.literal_args == (3, "x")
+
+    def test_select_without_from(self):
+        stmt = parse("SELECT 1 + 1 AS two")
+        assert stmt.source is None
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t WHERE 1 = 1 1")
+
+    def test_table_alias(self):
+        stmt = parse("SELECT t.a FROM my_table AS t")
+        assert stmt.source == ast.NamedTable("my_table", "t")
+        assert stmt.items[0].expression == ast.ColumnRef("t.a")
+
+    def test_join_parsing(self):
+        stmt = parse(
+            "SELECT a.x FROM t1 a JOIN t2 b ON a.id = b.id "
+            "LEFT JOIN t3 c ON b.id = c.id"
+        )
+        outer = stmt.source
+        assert isinstance(outer, ast.JoinSource)
+        assert outer.kind == "LEFT"
+        inner = outer.left
+        assert isinstance(inner, ast.JoinSource)
+        assert inner.kind == "INNER"
+
+    def test_select_distinct(self):
+        stmt = parse("SELECT DISTINCT a FROM t")
+        assert stmt.distinct
+
+
+class TestExpressionParsing:
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-a + 1")
+        assert expr.op == "+"
+        assert isinstance(expr.left, ast.UnaryOp)
+
+    def test_comparison_aliases(self):
+        assert parse_expression("a != 1").op == "<>"
+
+    def test_is_null(self):
+        expr = parse_expression("a IS NOT NULL")
+        assert isinstance(expr, ast.IsNull)
+        assert expr.negated
+
+    def test_in_list(self):
+        expr = parse_expression("a NOT IN (1, 2)")
+        assert isinstance(expr, ast.InList)
+        assert expr.negated
+        assert len(expr.items) == 2
+
+    def test_between(self):
+        expr = parse_expression("a BETWEEN 1 AND 5")
+        assert isinstance(expr, ast.Between)
+
+    def test_case_when(self):
+        expr = parse_expression("CASE WHEN a > 1 THEN 'big' ELSE 'small' END")
+        assert isinstance(expr, ast.CaseWhen)
+        assert expr.otherwise is not None
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_cast(self):
+        expr = parse_expression("CAST(a AS REAL)")
+        assert isinstance(expr, ast.Cast)
+        assert expr.target == SQLType.REAL
+
+    def test_count_star_and_distinct(self):
+        star = parse_expression("COUNT(*)")
+        assert isinstance(star, ast.Aggregate)
+        assert star.argument is None
+        distinct = parse_expression("COUNT(DISTINCT a)")
+        assert distinct.distinct
+
+    def test_stddev_alias(self):
+        expr = parse_expression("STDDEV(a)")
+        assert expr.name == "STDDEV_SAMP"
+
+    def test_function_call(self):
+        expr = parse_expression("power(a, 2)")
+        assert isinstance(expr, ast.FunctionCall)
+        assert expr.name == "POWER"
+
+
+class TestDDLParsing:
+    def test_create_table(self):
+        stmt = parse("CREATE TABLE t (a INT, b DOUBLE PRECISION, c VARCHAR(50))")
+        assert stmt.columns == (
+            ("a", SQLType.INT), ("b", SQLType.REAL), ("c", SQLType.VARCHAR),
+        )
+
+    def test_create_if_not_exists(self):
+        stmt = parse("CREATE TABLE IF NOT EXISTS t (a INT)")
+        assert stmt.if_not_exists
+
+    def test_drop(self):
+        stmt = parse("DROP TABLE IF EXISTS t")
+        assert stmt.if_exists
+
+    def test_insert_values(self):
+        stmt = parse("INSERT INTO t VALUES (1, 'a', NULL, TRUE, -2.5)")
+        assert stmt.rows == ((1, "a", None, True, -2.5),)
+
+    def test_insert_select(self):
+        stmt = parse("INSERT INTO t SELECT a FROM s")
+        assert isinstance(stmt, ast.InsertSelect)
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, ast.DeleteFrom)
+        assert stmt.where is not None
+
+    def test_create_function(self):
+        stmt = parse(
+            "CREATE OR REPLACE FUNCTION f(a INT) RETURNS TABLE(b REAL) "
+            "LANGUAGE PYTHON { return {'b': a * 1.0} }"
+        )
+        assert isinstance(stmt, ast.CreateFunction)
+        assert stmt.or_replace
+        assert stmt.parameters == (("a", SQLType.INT),)
+        assert "return" in stmt.body
+
+    def test_drop_function(self):
+        stmt = parse("DROP FUNCTION IF EXISTS f")
+        assert isinstance(stmt, ast.DropFunction)
+
+    def test_create_remote_table(self):
+        stmt = parse("CREATE REMOTE TABLE r (a INT) ON 'worker1/t'")
+        assert isinstance(stmt, ast.CreateRemoteTable)
+        assert stmt.location == "worker1/t"
+
+    def test_create_merge_and_alter(self):
+        stmt = parse("CREATE MERGE TABLE m (a INT)")
+        assert isinstance(stmt, ast.CreateMergeTable)
+        alter = parse("ALTER TABLE m ADD TABLE p")
+        assert isinstance(alter, ast.AlterMergeAdd)
+        assert (alter.merge_table, alter.part_table) == ("m", "p")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(ParseError):
+            parse("UPDATE t SET a = 1")

@@ -1,0 +1,99 @@
+"""Remote and merge tables: the non-materialized aggregation path."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.errors import CatalogError, NodeUnavailableError
+
+
+def make_remote_pair():
+    """Two databases where `master` resolves remote tables from `worker`."""
+    worker = Database("worker")
+    worker.execute("CREATE TABLE stats (v REAL)")
+    worker.execute("INSERT INTO stats VALUES (1.0), (2.0)")
+    master = Database("master")
+
+    def resolver(location):
+        node, table = location.split("/", 1)
+        assert node == "worker"
+        return worker.get_table(table)
+
+    master.set_remote_resolver(resolver)
+    return master, worker
+
+
+class TestRemoteTable:
+    def test_remote_select(self):
+        master, worker = make_remote_pair()
+        master.execute("CREATE REMOTE TABLE r (v REAL) ON 'worker/stats'")
+        assert master.query("SELECT SUM(v) AS s FROM r").to_rows() == [(3.0,)]
+
+    def test_remote_is_not_materialized(self):
+        """Reads always see the current remote contents — nothing is cached."""
+        master, worker = make_remote_pair()
+        master.execute("CREATE REMOTE TABLE r (v REAL) ON 'worker/stats'")
+        assert master.scalar("SELECT SUM(v) FROM r") == 3.0
+        worker.execute("INSERT INTO stats VALUES (10.0)")
+        assert master.scalar("SELECT SUM(v) FROM r") == 13.0
+
+    def test_schema_mismatch_detected(self):
+        master, worker = make_remote_pair()
+        master.execute("CREATE REMOTE TABLE r (v VARCHAR) ON 'worker/stats'")
+        with pytest.raises(CatalogError, match="schema"):
+            master.query("SELECT * FROM r")
+
+    def test_default_resolver_fails(self):
+        db = Database()
+        db.execute("CREATE REMOTE TABLE r (v REAL) ON 'x/y'")
+        with pytest.raises(NodeUnavailableError):
+            db.query("SELECT * FROM r")
+
+
+class TestMergeTable:
+    def test_union_all_of_parts(self):
+        db = Database()
+        db.execute("CREATE TABLE p1 (v INT)")
+        db.execute("INSERT INTO p1 VALUES (1), (2)")
+        db.execute("CREATE TABLE p2 (v INT)")
+        db.execute("INSERT INTO p2 VALUES (3)")
+        db.execute("CREATE MERGE TABLE m (v INT)")
+        db.execute("ALTER TABLE m ADD TABLE p1")
+        db.execute("ALTER TABLE m ADD TABLE p2")
+        assert db.scalar("SELECT SUM(v) FROM m") == 6
+
+    def test_empty_merge(self):
+        db = Database()
+        db.execute("CREATE MERGE TABLE m (v INT)")
+        assert db.query("SELECT * FROM m").num_rows == 0
+
+    def test_duplicate_part_rejected(self):
+        db = Database()
+        db.execute("CREATE TABLE p (v INT)")
+        db.execute("CREATE MERGE TABLE m (v INT)")
+        db.execute("ALTER TABLE m ADD TABLE p")
+        with pytest.raises(CatalogError):
+            db.execute("ALTER TABLE m ADD TABLE p")
+
+    def test_add_missing_part(self):
+        db = Database()
+        db.execute("CREATE MERGE TABLE m (v INT)")
+        with pytest.raises(CatalogError):
+            db.execute("ALTER TABLE m ADD TABLE ghost")
+
+    def test_merge_over_remote_parts(self):
+        """The MIP pattern: a merge table whose parts are remote tables."""
+        master, worker = make_remote_pair()
+        worker.execute("CREATE TABLE stats2 (v REAL)")
+        worker.execute("INSERT INTO stats2 VALUES (5.0)")
+
+        def resolver(location):
+            node, table = location.split("/", 1)
+            return worker.get_table(table)
+
+        master.set_remote_resolver(resolver)
+        master.execute("CREATE REMOTE TABLE r1 (v REAL) ON 'worker/stats'")
+        master.execute("CREATE REMOTE TABLE r2 (v REAL) ON 'worker/stats2'")
+        master.execute("CREATE MERGE TABLE m (v REAL)")
+        master.execute("ALTER TABLE m ADD TABLE r1")
+        master.execute("ALTER TABLE m ADD TABLE r2")
+        assert master.scalar("SELECT SUM(v) FROM m") == 8.0

@@ -1,0 +1,94 @@
+"""SQL type system."""
+
+import numpy as np
+import pytest
+
+from repro.engine.types import SQLType, coerce_scalar, common_type, is_numeric
+from repro.errors import TypeMismatchError
+
+
+class TestFromName:
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("INT", SQLType.INT),
+            ("integer", SQLType.INT),
+            ("BIGINT", SQLType.INT),
+            ("REAL", SQLType.REAL),
+            ("double", SQLType.REAL),
+            ("FLOAT", SQLType.REAL),
+            ("varchar", SQLType.VARCHAR),
+            ("TEXT", SQLType.VARCHAR),
+            ("BOOLEAN", SQLType.BOOL),
+        ],
+    )
+    def test_aliases(self, name, expected):
+        assert SQLType.from_name(name) == expected
+
+    def test_unknown_raises(self):
+        with pytest.raises(TypeMismatchError):
+            SQLType.from_name("BLOB")
+
+
+class TestOfValue:
+    def test_bool_before_int(self):
+        # bool is a subclass of int; ensure it is not mistaken for INT
+        assert SQLType.of_value(True) == SQLType.BOOL
+
+    def test_int(self):
+        assert SQLType.of_value(7) == SQLType.INT
+
+    def test_numpy_int(self):
+        assert SQLType.of_value(np.int64(7)) == SQLType.INT
+
+    def test_float(self):
+        assert SQLType.of_value(1.5) == SQLType.REAL
+
+    def test_str(self):
+        assert SQLType.of_value("x") == SQLType.VARCHAR
+
+    def test_unsupported(self):
+        with pytest.raises(TypeMismatchError):
+            SQLType.of_value([1, 2])
+
+
+class TestCommonType:
+    def test_same(self):
+        assert common_type(SQLType.INT, SQLType.INT) == SQLType.INT
+
+    def test_int_widens_to_real(self):
+        assert common_type(SQLType.INT, SQLType.REAL) == SQLType.REAL
+
+    def test_incompatible(self):
+        with pytest.raises(TypeMismatchError):
+            common_type(SQLType.INT, SQLType.VARCHAR)
+
+    def test_is_numeric(self):
+        assert is_numeric(SQLType.INT)
+        assert is_numeric(SQLType.REAL)
+        assert not is_numeric(SQLType.VARCHAR)
+        assert not is_numeric(SQLType.BOOL)
+
+
+class TestCoerceScalar:
+    def test_none_passes_through(self):
+        assert coerce_scalar(None, SQLType.INT) is None
+
+    def test_int_from_whole_float(self):
+        assert coerce_scalar(3.0, SQLType.INT) == 3
+
+    def test_int_from_fractional_float_raises(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_scalar(3.5, SQLType.INT)
+
+    def test_real_from_int(self):
+        assert coerce_scalar(3, SQLType.REAL) == 3.0
+
+    def test_varchar_rejects_number(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_scalar(3, SQLType.VARCHAR)
+
+    def test_bool_strict(self):
+        assert coerce_scalar(True, SQLType.BOOL) is True
+        with pytest.raises(TypeMismatchError):
+            coerce_scalar(1, SQLType.BOOL)

@@ -1,0 +1,129 @@
+"""Python table UDFs inside the engine, including loopback queries."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.errors import CatalogError, UDFError
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (a INT, b REAL)")
+    database.execute("INSERT INTO t VALUES (1, 10.0), (2, 20.0), (3, 30.0)")
+    return database
+
+
+class TestBasicUDF:
+    def test_vectorized_columns(self, db):
+        db.execute(
+            "CREATE FUNCTION double_it(a INT) RETURNS TABLE(v INT) "
+            "LANGUAGE PYTHON { return {'v': a * 2} }"
+        )
+        rows = db.query("SELECT * FROM double_it((SELECT a FROM t))").to_rows()
+        assert rows == [(2,), (4,), (6,)]
+
+    def test_multiple_input_columns(self, db):
+        db.execute(
+            "CREATE FUNCTION combine(a INT, b REAL) RETURNS TABLE(v REAL) "
+            "LANGUAGE PYTHON { return {'v': a + b} }"
+        )
+        rows = db.query("SELECT * FROM combine((SELECT a, b FROM t))").to_rows()
+        assert rows == [(11.0,), (22.0,), (33.0,)]
+
+    def test_scalar_literal_arguments(self, db):
+        db.execute(
+            "CREATE FUNCTION scale(a INT, factor INT) RETURNS TABLE(v INT) "
+            "LANGUAGE PYTHON { return {'v': a * factor} }"
+        )
+        rows = db.query("SELECT * FROM scale((SELECT a FROM t), 10)").to_rows()
+        assert rows == [(10,), (20,), (30,)]
+
+    def test_numpy_available(self, db):
+        db.execute(
+            "CREATE FUNCTION total(a INT) RETURNS TABLE(s INT) "
+            "LANGUAGE PYTHON { return {'s': np.array([a.sum()])} }"
+        )
+        assert db.query("SELECT * FROM total((SELECT a FROM t))").to_rows() == [(6,)]
+
+    def test_or_replace(self, db):
+        db.execute(
+            "CREATE FUNCTION f(a INT) RETURNS TABLE(v INT) LANGUAGE PYTHON { return {'v': a} }"
+        )
+        with pytest.raises(CatalogError):
+            db.execute(
+                "CREATE FUNCTION f(a INT) RETURNS TABLE(v INT) "
+                "LANGUAGE PYTHON { return {'v': a} }"
+            )
+        db.execute(
+            "CREATE OR REPLACE FUNCTION f(a INT) RETURNS TABLE(v INT) "
+            "LANGUAGE PYTHON { return {'v': a + 1} }"
+        )
+        rows = db.query("SELECT * FROM f((SELECT a FROM t LIMIT 1))").to_rows()
+        assert rows == [(2,)]
+
+    def test_drop_function(self, db):
+        db.execute(
+            "CREATE FUNCTION f(a INT) RETURNS TABLE(v INT) LANGUAGE PYTHON { return {'v': a} }"
+        )
+        db.execute("DROP FUNCTION f")
+        with pytest.raises(CatalogError):
+            db.query("SELECT * FROM f((SELECT a FROM t))")
+
+
+class TestLoopback:
+    def test_loopback_select(self, db):
+        db.execute(
+            "CREATE FUNCTION agg() RETURNS TABLE(s REAL) LANGUAGE PYTHON {\n"
+            "    result = _conn.execute(\"SELECT SUM(b) AS s FROM t\")\n"
+            "    return {'s': result['s']}\n"
+            "}"
+        )
+        assert db.query("SELECT * FROM agg()").to_rows() == [(60.0,)]
+
+    def test_loopback_insert(self, db):
+        db.execute("CREATE TABLE sink (v INT)")
+        db.execute(
+            "CREATE FUNCTION emit() RETURNS TABLE(ok INT) LANGUAGE PYTHON {\n"
+            "    _conn.execute(\"INSERT INTO sink VALUES (42)\")\n"
+            "    return {'ok': np.array([1])}\n"
+            "}"
+        )
+        db.query("SELECT * FROM emit()")
+        assert db.query("SELECT * FROM sink").to_rows() == [(42,)]
+
+
+class TestErrorHandling:
+    def test_exception_wrapped(self, db):
+        db.execute(
+            "CREATE FUNCTION boom(a INT) RETURNS TABLE(v INT) "
+            "LANGUAGE PYTHON { raise ValueError('nope') }"
+        )
+        with pytest.raises(UDFError, match="nope"):
+            db.query("SELECT * FROM boom((SELECT a FROM t))")
+
+    def test_missing_output_column(self, db):
+        db.execute(
+            "CREATE FUNCTION bad(a INT) RETURNS TABLE(v INT, w INT) "
+            "LANGUAGE PYTHON { return {'v': a} }"
+        )
+        with pytest.raises(UDFError, match="missing column"):
+            db.query("SELECT * FROM bad((SELECT a FROM t))")
+
+    def test_ragged_output(self, db):
+        db.execute(
+            "CREATE FUNCTION ragged(a INT) RETURNS TABLE(v INT, w INT) "
+            "LANGUAGE PYTHON { return {'v': a, 'w': a[:1]} }"
+        )
+        with pytest.raises(UDFError, match="ragged"):
+            db.query("SELECT * FROM ragged((SELECT a FROM t))")
+
+    def test_unknown_function(self, db):
+        with pytest.raises(CatalogError):
+            db.query("SELECT * FROM nothere((SELECT a FROM t))")
+
+    def test_scalar_result_broadcast(self, db):
+        db.execute(
+            "CREATE FUNCTION one() RETURNS TABLE(v INT) LANGUAGE PYTHON { return 7 }"
+        )
+        assert db.query("SELECT * FROM one()").to_rows() == [(7,)]

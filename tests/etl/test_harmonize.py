@@ -1,0 +1,46 @@
+"""Harmonization against CDE contracts."""
+
+import pytest
+
+from repro.data.cdes import dementia_data_model
+from repro.etl.harmonize import harmonize_table
+from repro.etl.loader import load_csv_text
+
+
+@pytest.fixture(scope="module")
+def model():
+    return dementia_data_model()
+
+
+class TestHarmonize:
+    def test_out_of_range_nulled(self, model):
+        table = load_csv_text(
+            "dataset,p_tau\nedsd,55.0\nedsd,9999.0\nedsd,-3.0\n", model
+        )
+        clean, report = harmonize_table(table, model)
+        assert clean.column("p_tau").to_list() == [55.0, None, None]
+        assert report.out_of_range_nulled == {"p_tau": 2}
+        assert report.total_nulled == 2
+
+    def test_bad_level_nulled(self, model):
+        table = load_csv_text("dataset,gender\nedsd,F\nedsd,X\n", model)
+        clean, report = harmonize_table(table, model)
+        assert clean.column("gender").to_list() == ["F", None]
+        assert report.bad_level_nulled == {"gender": 1}
+
+    def test_clean_table_untouched(self, model):
+        table = load_csv_text("dataset,p_tau,gender\nedsd,55.0,F\n", model)
+        clean, report = harmonize_table(table, model)
+        assert clean.to_rows() == table.to_rows()
+        assert report.total_nulled == 0
+
+    def test_existing_nulls_not_counted(self, model):
+        table = load_csv_text("dataset,p_tau\nedsd,NA\n", model)
+        clean, report = harmonize_table(table, model)
+        assert report.total_nulled == 0
+        assert clean.column("p_tau").to_list() == [None]
+
+    def test_report_row_count(self, model):
+        table = load_csv_text("dataset,p_tau\nedsd,1.0\nedsd,2.0\n", model)
+        _, report = harmonize_table(table, model)
+        assert report.total_rows == 2

@@ -1,0 +1,66 @@
+"""CSV ingestion."""
+
+import pytest
+
+from repro.data.cdes import dementia_data_model
+from repro.errors import SpecificationError
+from repro.etl.loader import load_csv, load_csv_text
+
+
+@pytest.fixture(scope="module")
+def model():
+    return dementia_data_model()
+
+
+class TestLoadCSVText:
+    def test_typed_columns(self, model):
+        table = load_csv_text(
+            "dataset,p_tau,gender,event_observed\n"
+            "edsd,55.5,F,1\n"
+            "edsd,60.0,M,0\n",
+            model,
+        )
+        assert table.num_rows == 2
+        assert table.to_rows()[0] == ("edsd", 55.5, "F", 1)
+
+    def test_na_tokens(self, model):
+        table = load_csv_text(
+            "dataset,p_tau\nedsd,NA\nedsd,\nedsd,null\nedsd,42.0\n", model
+        )
+        assert table.column("p_tau").to_list() == [None, None, None, 42.0]
+
+    def test_blank_lines_skipped(self, model):
+        table = load_csv_text("dataset,p_tau\nedsd,1.0\n\n", model)
+        assert table.num_rows == 1
+
+    def test_unknown_column_rejected(self, model):
+        with pytest.raises(SpecificationError, match="not in data model"):
+            load_csv_text("dataset,shoe_size\nedsd,42\n", model)
+
+    def test_dataset_column_required(self, model):
+        with pytest.raises(SpecificationError, match="dataset"):
+            load_csv_text("p_tau\n55.0\n", model)
+
+    def test_bad_number_reports_line(self, model):
+        with pytest.raises(SpecificationError, match="line 3"):
+            load_csv_text("dataset,p_tau\nedsd,1.0\nedsd,abc\n", model)
+
+    def test_arity_mismatch(self, model):
+        with pytest.raises(SpecificationError, match="cells"):
+            load_csv_text("dataset,p_tau\nedsd\n", model)
+
+    def test_empty_input(self, model):
+        with pytest.raises(SpecificationError, match="empty"):
+            load_csv_text("", model)
+
+    def test_int_from_decimal_string(self, model):
+        table = load_csv_text("dataset,event_observed\nedsd,1.0\n", model)
+        assert table.column("event_observed").to_list() == [1]
+
+
+class TestLoadCSVFile:
+    def test_from_disk(self, model, tmp_path):
+        path = tmp_path / "export.csv"
+        path.write_text("dataset,p_tau\nedsd,55.0\n")
+        table = load_csv(path, model)
+        assert table.num_rows == 1

@@ -1,0 +1,42 @@
+"""Dataset-aware shipping plans."""
+
+import pytest
+
+from repro.errors import DatasetUnavailableError
+from repro.federation.scheduler import plan_shipping
+
+
+class TestPlanShipping:
+    def test_each_dataset_assigned_once(self):
+        availability = {"a": ["w1"], "b": ["w2"], "c": ["w1"]}
+        plan = plan_shipping(availability, ["a", "b", "c"])
+        assigned = [code for codes in plan.assignments.values() for code in codes]
+        assert sorted(assigned) == ["a", "b", "c"]
+
+    def test_replicated_dataset_not_double_counted(self):
+        availability = {"a": ["w1", "w2"]}
+        plan = plan_shipping(availability, ["a"])
+        assert sum(len(c) for c in plan.assignments.values()) == 1
+
+    def test_load_balancing(self):
+        availability = {
+            "a": ["w1"], "b": ["w1"], "c": ["w1", "w2"], "d": ["w1", "w2"],
+        }
+        plan = plan_shipping(availability, ["a", "b", "c", "d"])
+        # the replicated datasets should go to the less-loaded worker
+        assert len(plan.assignments["w2"]) == 2
+
+    def test_missing_dataset_raises(self):
+        with pytest.raises(DatasetUnavailableError, match="missing"):
+            plan_shipping({"a": ["w1"]}, ["a", "missing"])
+
+    def test_subset_of_workers_only(self):
+        availability = {"a": ["w1"], "b": ["w1"]}
+        plan = plan_shipping(availability, ["a"])
+        assert plan.workers == ["w1"]
+        assert plan.datasets_for("w1") == ["a"]
+        assert plan.datasets_for("w9") == []
+
+    def test_empty_request(self):
+        plan = plan_shipping({"a": ["w1"]}, [])
+        assert plan.assignments == {}

@@ -1,0 +1,26 @@
+"""Table wire serialization."""
+
+from repro.engine.table import Schema, Table
+from repro.engine.types import SQLType
+from repro.federation.serialization import table_from_payload, table_to_payload
+
+
+class TestRoundtrip:
+    def test_all_types_with_nulls(self):
+        schema = Schema([
+            ("i", SQLType.INT), ("r", SQLType.REAL),
+            ("s", SQLType.VARCHAR), ("b", SQLType.BOOL),
+        ])
+        table = Table.from_rows(schema, [
+            (1, 1.5, "x", True),
+            (None, None, None, None),
+        ])
+        restored = table_from_payload(table_to_payload(table))
+        assert restored.schema == table.schema
+        assert restored.to_rows() == table.to_rows()
+
+    def test_empty_table(self):
+        schema = Schema([("v", SQLType.REAL)])
+        restored = table_from_payload(table_to_payload(Table.empty(schema)))
+        assert restored.num_rows == 0
+        assert restored.schema == schema

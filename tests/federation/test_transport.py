@@ -1,0 +1,91 @@
+"""Simulated transport: metering, latency model, failure injection."""
+
+import pytest
+
+from repro.errors import FederationError, NodeUnavailableError
+from repro.federation.transport import Transport
+
+
+def echo_handler(message):
+    return {"echo": dict(message.payload), "kind": message.kind}
+
+
+@pytest.fixture()
+def transport():
+    t = Transport(latency_seconds=0.001, bandwidth_bytes_per_second=1e6)
+    t.register("node_a", echo_handler)
+    t.register("node_b", echo_handler)
+    return t
+
+
+class TestDelivery:
+    def test_roundtrip(self, transport):
+        response = transport.send("node_a", "node_b", "ping", {"x": 1})
+        assert response["echo"] == {"x": 1}
+        assert response["kind"] == "ping"
+
+    def test_unknown_receiver(self, transport):
+        with pytest.raises(FederationError):
+            transport.send("node_a", "ghost", "ping")
+
+    def test_duplicate_registration(self, transport):
+        with pytest.raises(FederationError):
+            transport.register("node_a", echo_handler)
+
+    def test_nodes_listing(self, transport):
+        assert transport.nodes() == ["node_a", "node_b"]
+
+    def test_none_response_becomes_empty_dict(self, transport):
+        transport.register("quiet", lambda m: None)
+        assert transport.send("node_a", "quiet", "ping") == {}
+
+
+class TestMetering:
+    def test_messages_and_bytes_counted(self, transport):
+        before = transport.stats.messages
+        transport.send("node_a", "node_b", "ping", {"payload": "x" * 100})
+        # request + response both metered
+        assert transport.stats.messages == before + 2
+        assert transport.stats.bytes_sent > 100
+
+    def test_simulated_time_includes_latency(self, transport):
+        transport.send("node_a", "node_b", "ping")
+        assert transport.stats.simulated_seconds >= 2 * 0.001
+
+    def test_per_link_stats(self, transport):
+        transport.send("node_a", "node_b", "ping")
+        assert transport.link_stats[("node_a", "node_b")].messages == 1
+        assert transport.link_stats[("node_b", "node_a")].messages == 1
+
+    def test_reset(self, transport):
+        transport.send("node_a", "node_b", "ping")
+        transport.stats.reset()
+        assert transport.stats.messages == 0
+
+
+class TestFailureInjection:
+    def test_down_node_unreachable(self, transport):
+        transport.set_down("node_b")
+        with pytest.raises(NodeUnavailableError):
+            transport.send("node_a", "node_b", "ping")
+
+    def test_down_sender_also_fails(self, transport):
+        transport.set_down("node_a")
+        with pytest.raises(NodeUnavailableError):
+            transport.send("node_a", "node_b", "ping")
+
+    def test_recovery(self, transport):
+        transport.set_down("node_b")
+        transport.set_down("node_b", False)
+        assert transport.send("node_a", "node_b", "ping")["kind"] == "ping"
+
+    def test_drop_probability(self):
+        t = Transport(drop_probability=1.0, seed=1)
+        t.register("a", echo_handler)
+        t.register("b", echo_handler)
+        with pytest.raises(NodeUnavailableError, match="dropped"):
+            t.send("a", "b", "ping")
+
+    def test_drop_probability_validated(self):
+        with pytest.raises(FederationError):
+            Transport(drop_probability=1.5)

@@ -1,0 +1,65 @@
+"""Gradient-trained model primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.learning.aggregation import fedavg, fedsgd
+from repro.learning.models import LinearModel, LogisticModel
+
+
+class TestLogisticModel:
+    def test_zero_weights_predict_half(self):
+        model = LogisticModel.zeros(2)
+        X = np.array([[1.0, 5.0]])
+        assert model.predict_probability(X)[0] == pytest.approx(0.5)
+
+    def test_gradient_descends_loss(self):
+        rng = np.random.default_rng(0)
+        X = np.column_stack([np.ones(200), rng.normal(size=200)])
+        y = (X[:, 1] > 0).astype(float)
+        model = LogisticModel.zeros(2)
+        losses = []
+        for _ in range(50):
+            losses.append(model.loss(X, y))
+            model.weights -= 1.0 * model.gradient(X, y)
+        assert losses[-1] < losses[0]
+        assert (model.predict(X) == y).mean() > 0.9
+
+    def test_gradient_zero_rows(self):
+        model = LogisticModel.zeros(1)
+        with pytest.raises(AlgorithmError):
+            model.gradient(np.empty((0, 1)), np.empty(0))
+
+
+class TestLinearModel:
+    def test_gradient_descends_mse(self):
+        rng = np.random.default_rng(0)
+        X = np.column_stack([np.ones(100), rng.normal(size=100)])
+        y = 2.0 + 3.0 * X[:, 1]
+        model = LinearModel.zeros(2)
+        for _ in range(200):
+            model.weights -= 0.1 * model.gradient(X, y)
+        assert model.weights == pytest.approx([2.0, 3.0], abs=1e-3)
+        assert model.loss(X, y) < 1e-5
+
+
+class TestAggregation:
+    def test_fedavg_weighted(self):
+        updates = [np.array([1.0, 0.0]), np.array([0.0, 1.0])]
+        combined = fedavg(updates, [3.0, 1.0])
+        assert combined == pytest.approx([0.75, 0.25])
+
+    def test_fedsgd_unweighted(self):
+        combined = fedsgd([np.array([2.0]), np.array([4.0])])
+        assert combined == pytest.approx([3.0])
+
+    def test_errors(self):
+        with pytest.raises(AlgorithmError):
+            fedavg([], [])
+        with pytest.raises(AlgorithmError):
+            fedavg([np.zeros(1)], [1.0, 2.0])
+        with pytest.raises(AlgorithmError):
+            fedavg([np.zeros(1)], [0.0])
+        with pytest.raises(AlgorithmError):
+            fedsgd([])

@@ -1,0 +1,197 @@
+"""The federated training loop: none / DP / SA paths."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError, PrivacyError
+from repro.learning.trainer import FederatedTrainer, TrainingConfig
+
+
+def make_config(**overrides):
+    base = dict(
+        data_model="dementia",
+        datasets=("edsd", "adni", "ppmi"),
+        response="converted_ad",
+        covariates=("lefthippocampus", "p_tau"),
+        rounds=8,
+        learning_rate=0.8,
+        clip_norm=1.0,
+        evaluate_every=4,
+        seed=3,
+    )
+    base.update(overrides)
+    return TrainingConfig(**base)
+
+
+class TestConfigValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(AlgorithmError):
+            make_config(mode="quantum")
+
+    def test_rounds_positive(self):
+        with pytest.raises(AlgorithmError):
+            make_config(rounds=0)
+
+    def test_epsilon_positive_when_private(self):
+        with pytest.raises(PrivacyError):
+            make_config(mode="dp", epsilon=0.0)
+
+
+class TestCleanTraining:
+    def test_loss_decreases(self, fresh_federation):
+        trainer = FederatedTrainer(fresh_federation)
+        result = trainer.train(make_config(mode="none", rounds=12, evaluate_every=3))
+        losses = [h["loss"] for h in result.history]
+        assert losses[-1] < losses[0]
+        assert result.final_accuracy > 0.6
+        assert result.epsilon_spent == 0.0
+        assert result.mode == "none"
+
+    def test_design_names(self, fresh_federation):
+        trainer = FederatedTrainer(fresh_federation)
+        result = trainer.train(make_config(mode="none", rounds=2, evaluate_every=2))
+        assert result.design_names == ["intercept", "lefthippocampus", "p_tau"]
+        assert result.weights.shape == (3,)
+
+    def test_nominal_covariate_expanded(self, fresh_federation):
+        trainer = FederatedTrainer(fresh_federation)
+        result = trainer.train(
+            make_config(mode="none", rounds=2, evaluate_every=2,
+                        covariates=("lefthippocampus", "gender"))
+        )
+        assert result.design_names == ["intercept", "lefthippocampus", "gender[M]"]
+
+
+class TestPrivateTraining:
+    def test_dp_budget_accounted(self, fresh_federation):
+        trainer = FederatedTrainer(fresh_federation)
+        result = trainer.train(make_config(mode="dp", epsilon=8.0, delta=1e-5))
+        assert result.epsilon_spent == pytest.approx(8.0)
+        assert result.delta_spent == pytest.approx(1e-5)
+        assert result.mode == "dp"
+
+    def test_sa_budget_accounted(self, fresh_federation):
+        trainer = FederatedTrainer(fresh_federation)
+        result = trainer.train(make_config(mode="sa", epsilon=8.0))
+        assert result.epsilon_spent == pytest.approx(8.0)
+
+    def test_noise_hurts_at_tiny_epsilon(self, fresh_federation):
+        trainer = FederatedTrainer(fresh_federation)
+        clean = trainer.train(make_config(mode="none", rounds=10, evaluate_every=5))
+        noisy = trainer.train(
+            make_config(mode="dp", epsilon=0.05, rounds=10, evaluate_every=5)
+        )
+        assert noisy.final_loss > clean.final_loss
+
+    def test_dp_noise_differs_per_seed(self, fresh_federation):
+        trainer = FederatedTrainer(fresh_federation)
+        a = trainer.train(make_config(mode="dp", epsilon=5.0, seed=1, rounds=3,
+                                      evaluate_every=3))
+        b = trainer.train(make_config(mode="dp", epsilon=5.0, seed=2, rounds=3,
+                                      evaluate_every=3))
+        assert not np.allclose(a.weights, b.weights)
+
+    def test_sa_uses_smpc_cluster(self, fresh_federation):
+        cluster = fresh_federation.smpc_cluster
+        before = cluster.communication.rounds
+        trainer = FederatedTrainer(fresh_federation)
+        trainer.train(make_config(mode="sa", epsilon=5.0, rounds=2, evaluate_every=2))
+        assert cluster.communication.rounds > before
+
+
+class TestLinearModelKind:
+    def test_linear_regression_by_gradient_descent(self, fresh_federation):
+        """model_kind='linear' minimizes MSE toward the OLS solution on
+        standardized features."""
+        trainer = FederatedTrainer(fresh_federation)
+        result = trainer.train(
+            make_config(
+                mode="none", model_kind="linear",
+                response="minimentalstate",
+                covariates=("lefthippocampus", "agevalue"),
+                rounds=60, learning_rate=0.05, clip_norm=100.0,
+                evaluate_every=30,
+            )
+        )
+        losses = [h["loss"] for h in result.history]
+        assert losses[-1] < losses[0]
+        # on standardized covariates, MSE should approach the OLS residual MSE
+        assert losses[-1] < 5.0
+
+    def test_linear_accuracy_reported_as_zero(self, fresh_federation):
+        trainer = FederatedTrainer(fresh_federation)
+        result = trainer.train(
+            make_config(mode="none", model_kind="linear",
+                        response="minimentalstate",
+                        covariates=("lefthippocampus",),
+                        rounds=3, evaluate_every=3)
+        )
+        assert result.final_accuracy == 0.0  # not defined for regression
+
+    def test_unknown_model_kind_rejected(self):
+        with pytest.raises(AlgorithmError):
+            make_config(model_kind="quantum")
+
+    def test_newton_requires_logistic(self):
+        with pytest.raises(AlgorithmError):
+            make_config(mode="newton", model_kind="linear")
+
+    def test_dp_linear_training_runs(self, fresh_federation):
+        trainer = FederatedTrainer(fresh_federation)
+        result = trainer.train(
+            make_config(mode="dp", model_kind="linear", epsilon=50.0,
+                        response="minimentalstate",
+                        covariates=("lefthippocampus",),
+                        rounds=5, evaluate_every=5)
+        )
+        assert result.epsilon_spent == pytest.approx(50.0)
+
+
+class TestNewtonMode:
+    def test_newton_converges_in_few_rounds(self, fresh_federation):
+        """The second-order path reaches the SGD path's accuracy in a
+        fraction of the rounds."""
+        trainer = FederatedTrainer(fresh_federation)
+        newton = trainer.train(make_config(mode="newton", rounds=4, evaluate_every=4))
+        sgd = trainer.train(make_config(mode="none", rounds=4, evaluate_every=4))
+        assert newton.final_loss <= sgd.final_loss
+        assert newton.final_accuracy >= 0.6
+
+    def test_newton_matches_federated_logistic_algorithm(self, fresh_federation):
+        """Newton training on unstandardized features converges to the same
+        MLE the logistic_regression algorithm finds."""
+        import repro.algorithms  # noqa: F401
+        from repro.core.experiment import ExperimentEngine, ExperimentRequest
+
+        trainer = FederatedTrainer(fresh_federation)
+        result = trainer.train(
+            make_config(mode="newton", rounds=12, evaluate_every=12,
+                        standardize=False)
+        )
+        engine = ExperimentEngine(fresh_federation, aggregation="plain")
+        reference = engine.run(
+            ExperimentRequest(
+                algorithm="logistic_regression", data_model="dementia",
+                datasets=("edsd", "adni", "ppmi"),
+                y=("converted_ad",), x=("lefthippocampus", "p_tau"),
+            )
+        )
+        assert reference.status.value == "success"
+        assert np.allclose(result.weights, reference.result["coefficients"], atol=1e-4)
+
+    def test_newton_spends_no_privacy_budget(self, fresh_federation):
+        trainer = FederatedTrainer(fresh_federation)
+        result = trainer.train(make_config(mode="newton", rounds=3, evaluate_every=3))
+        assert result.epsilon_spent == 0.0
+
+
+class TestEvaluation:
+    def test_history_cadence(self, fresh_federation):
+        trainer = FederatedTrainer(fresh_federation)
+        result = trainer.train(make_config(mode="none", rounds=9, evaluate_every=3))
+        assert [h["round"] for h in result.history] == [3, 6, 9]
+
+    def test_final_round_always_evaluated(self, fresh_federation):
+        trainer = FederatedTrainer(fresh_federation)
+        result = trainer.train(make_config(mode="none", rounds=5, evaluate_every=4))
+        assert result.history[-1]["round"] == 5

@@ -1,0 +1,77 @@
+"""Privacy budget accounting."""
+
+import pytest
+
+from repro.errors import PrivacyError
+from repro.privacy.accountant import PrivacyAccountant
+
+
+class TestBasicComposition:
+    def test_epsilons_add(self):
+        accountant = PrivacyAccountant()
+        accountant.record(0.5)
+        accountant.record(0.25, 1e-6)
+        spent = accountant.spent()
+        assert spent.epsilon == pytest.approx(0.75)
+        assert spent.delta == pytest.approx(1e-6)
+        assert accountant.n_releases == 2
+
+    def test_budget_enforced(self):
+        accountant = PrivacyAccountant(epsilon_budget=1.0)
+        accountant.record(0.6)
+        with pytest.raises(PrivacyError, match="exhausted"):
+            accountant.record(0.6)
+        # failed record must not be counted
+        assert accountant.spent().epsilon == pytest.approx(0.6)
+
+    def test_delta_budget_enforced(self):
+        accountant = PrivacyAccountant(delta_budget=1e-5)
+        accountant.record(0.1, 9e-6)
+        with pytest.raises(PrivacyError):
+            accountant.record(0.1, 9e-6)
+
+    def test_invalid_release(self):
+        accountant = PrivacyAccountant()
+        with pytest.raises(PrivacyError):
+            accountant.record(-1.0)
+        with pytest.raises(PrivacyError):
+            accountant.record(1.0, 2.0)
+
+    def test_invalid_budgets(self):
+        with pytest.raises(PrivacyError):
+            PrivacyAccountant(epsilon_budget=0.0)
+        with pytest.raises(PrivacyError):
+            PrivacyAccountant(delta_budget=1.0)
+
+
+class TestAdvancedComposition:
+    def test_beats_basic_for_many_small_releases(self):
+        accountant = PrivacyAccountant()
+        for _ in range(100):
+            accountant.record(0.1, 1e-7)
+        basic = accountant.spent()
+        advanced = accountant.spent_advanced(delta_slack=1e-6)
+        assert advanced.epsilon < basic.epsilon
+        assert advanced.delta > basic.delta  # pays the slack
+
+    def test_falls_back_for_single_release(self):
+        accountant = PrivacyAccountant()
+        accountant.record(1.0)
+        advanced = accountant.spent_advanced()
+        assert advanced.epsilon == pytest.approx(1.0)
+
+    def test_heterogeneous_uses_basic(self):
+        accountant = PrivacyAccountant()
+        accountant.record(0.1)
+        accountant.record(0.9)
+        assert accountant.spent_advanced().epsilon == pytest.approx(1.0)
+
+    def test_empty(self):
+        accountant = PrivacyAccountant()
+        assert accountant.spent_advanced().epsilon == 0.0
+
+    def test_slack_validated(self):
+        accountant = PrivacyAccountant()
+        accountant.record(0.1)
+        with pytest.raises(PrivacyError):
+            accountant.spent_advanced(delta_slack=0.0)

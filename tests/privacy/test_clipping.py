@@ -1,0 +1,35 @@
+"""Norm clipping."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PrivacyError
+from repro.privacy.clipping import clip_by_l2_norm
+
+
+class TestClipping:
+    def test_under_norm_untouched(self):
+        values = np.array([0.3, 0.4])
+        assert clip_by_l2_norm(values, 1.0).tolist() == [0.3, 0.4]
+
+    def test_over_norm_scaled(self):
+        values = np.array([3.0, 4.0])  # norm 5
+        clipped = clip_by_l2_norm(values, 1.0)
+        assert np.linalg.norm(clipped) == pytest.approx(1.0)
+        # direction preserved
+        assert clipped[1] / clipped[0] == pytest.approx(4.0 / 3.0)
+
+    def test_zero_vector(self):
+        assert clip_by_l2_norm(np.zeros(3), 1.0).tolist() == [0.0, 0.0, 0.0]
+
+    def test_invalid_norm(self):
+        with pytest.raises(PrivacyError):
+            clip_by_l2_norm(np.ones(2), 0.0)
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=10),
+           st.floats(0.1, 10))
+    def test_norm_bound_property(self, values, clip):
+        clipped = clip_by_l2_norm(np.array(values), clip)
+        assert np.linalg.norm(clipped) <= clip * (1 + 1e-9)

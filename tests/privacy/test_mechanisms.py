@@ -1,0 +1,56 @@
+"""DP mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PrivacyError
+from repro.privacy.mechanisms import GaussianMechanism, LaplaceMechanism, gaussian_sigma
+
+
+class TestLaplace:
+    def test_scale(self):
+        mechanism = LaplaceMechanism(epsilon=0.5, sensitivity=2.0)
+        assert mechanism.scale == 4.0
+
+    def test_noise_distribution(self):
+        mechanism = LaplaceMechanism(epsilon=1.0, sensitivity=1.0)
+        rng = np.random.default_rng(0)
+        noised = mechanism.add_noise(np.zeros(20000), rng)
+        # Laplace(b): std = b * sqrt(2)
+        assert np.std(noised) == pytest.approx(np.sqrt(2), rel=0.05)
+        assert np.mean(noised) == pytest.approx(0.0, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(PrivacyError):
+            LaplaceMechanism(epsilon=0.0)
+        with pytest.raises(PrivacyError):
+            LaplaceMechanism(epsilon=1.0, sensitivity=-1.0)
+
+    def test_shape_preserved(self):
+        mechanism = LaplaceMechanism(epsilon=1.0)
+        rng = np.random.default_rng(0)
+        assert mechanism.add_noise(np.zeros((3, 2)), rng).shape == (3, 2)
+
+
+class TestGaussian:
+    def test_sigma_formula(self):
+        sigma = gaussian_sigma(epsilon=1.0, delta=1e-5, sensitivity=1.0)
+        assert sigma == pytest.approx(np.sqrt(2 * np.log(1.25e5)), rel=1e-9)
+
+    def test_sigma_scales_with_sensitivity(self):
+        assert gaussian_sigma(1.0, 1e-5, 2.0) == 2 * gaussian_sigma(1.0, 1e-5, 1.0)
+
+    def test_sigma_shrinks_with_epsilon(self):
+        assert gaussian_sigma(2.0, 1e-5) < gaussian_sigma(1.0, 1e-5)
+
+    def test_noise_distribution(self):
+        mechanism = GaussianMechanism(epsilon=1.0, delta=1e-5)
+        rng = np.random.default_rng(0)
+        noised = mechanism.add_noise(np.zeros(20000), rng)
+        assert np.std(noised) == pytest.approx(mechanism.sigma, rel=0.05)
+
+    def test_delta_validation(self):
+        with pytest.raises(PrivacyError):
+            GaussianMechanism(epsilon=1.0, delta=0.0)
+        with pytest.raises(PrivacyError):
+            GaussianMechanism(epsilon=1.0, delta=1.5)

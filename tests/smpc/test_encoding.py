@@ -1,0 +1,65 @@
+"""Fixed-point encoding of reals into the field."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SMPCError
+from repro.smpc.encoding import FixedPointEncoder
+
+
+@pytest.fixture()
+def encoder():
+    return FixedPointEncoder()
+
+
+class TestRoundtrip:
+    @given(st.floats(-1e6, 1e6))
+    def test_roundtrip_within_precision(self, value):
+        encoder = FixedPointEncoder()
+        decoded = encoder.decode(encoder.encode(value))
+        assert decoded == pytest.approx(value, abs=1.0 / encoder.scale)
+
+    def test_negative_representation(self, encoder):
+        assert encoder.decode(encoder.encode(-1.5)) == -1.5
+
+    def test_zero(self, encoder):
+        assert encoder.decode(encoder.encode(0.0)) == 0.0
+
+    @given(st.integers(-10**6, 10**6))
+    def test_integer_mode_exact(self, value):
+        encoder = FixedPointEncoder()
+        assert encoder.decode_int(encoder.encode_int(value)) == value
+
+    def test_vector_roundtrip(self, encoder):
+        values = np.array([1.25, -2.5, 0.0])
+        decoded = encoder.decode_vector(encoder.encode_vector(values))
+        assert np.allclose(decoded, values)
+
+
+class TestRangeChecks:
+    def test_out_of_range_rejected(self, encoder):
+        limit = encoder.bound / encoder.scale
+        with pytest.raises(SMPCError):
+            encoder.encode(limit * 2)
+
+    def test_integer_out_of_range(self, encoder):
+        with pytest.raises(SMPCError):
+            encoder.encode_int(encoder.bound * 2)
+
+    def test_bad_parameters(self):
+        with pytest.raises(SMPCError):
+            FixedPointEncoder(fractional_bits=50, magnitude_bits=40)
+
+
+class TestHomomorphism:
+    """Field addition of encodings corresponds to real addition."""
+
+    @given(st.floats(-1e3, 1e3), st.floats(-1e3, 1e3))
+    def test_additive(self, a, b):
+        from repro.smpc.field import fadd
+
+        encoder = FixedPointEncoder()
+        combined = encoder.decode(fadd(encoder.encode(a), encoder.encode(b)))
+        assert combined == pytest.approx(a + b, abs=2.0 / encoder.scale)

@@ -1,0 +1,111 @@
+"""Property-based SMPC tests: protocol operations compose correctly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smpc.encoding import FixedPointEncoder
+from repro.smpc.field import PRIME, FieldVector, finv
+from repro.smpc.protocol import FTProtocol, ShamirProtocol
+
+reals = st.floats(-1000, 1000, allow_nan=False, allow_infinity=False)
+
+
+def encode(protocol, values):
+    return FieldVector(protocol.encoder.encode_vector(np.asarray(values, dtype=float)))
+
+
+def decode(protocol, vector):
+    return protocol.encoder.decode_vector(vector.elements)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    a=st.lists(reals, min_size=1, max_size=4),
+    b=st.lists(reals, min_size=1, max_size=4),
+    c=st.lists(reals, min_size=1, max_size=4),
+)
+def test_linear_combination_property(a, b, c):
+    """open(2a + b - c) == 2a + b - c for any inputs (Shamir)."""
+    length = min(len(a), len(b), len(c))
+    a, b, c = a[:length], b[:length], c[:length]
+    protocol = ShamirProtocol(3, seed=2)
+    sa = protocol.input_vector(encode(protocol, a))
+    sb = protocol.input_vector(encode(protocol, b))
+    sc = protocol.input_vector(encode(protocol, c))
+    combined = protocol.sub(protocol.add(protocol.scale(sa, 2), sb), sc)
+    opened = decode(protocol, protocol.open(combined))
+    expected = 2 * np.asarray(a) + np.asarray(b) - np.asarray(c)
+    assert np.allclose(opened, expected, atol=1e-3)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    a=st.lists(st.floats(-50, 50, allow_nan=False), min_size=1, max_size=3),
+    b=st.lists(st.floats(-50, 50, allow_nan=False), min_size=1, max_size=3),
+)
+@pytest.mark.parametrize("protocol_cls", [ShamirProtocol, FTProtocol])
+def test_multiplication_property(protocol_cls, a, b):
+    """Beaver multiplication is exact for fixed-point inputs."""
+    length = min(len(a), len(b))
+    a, b = a[:length], b[:length]
+    protocol = protocol_cls(3, seed=3)
+    sa = protocol.input_vector(encode(protocol, a))
+    sb = protocol.input_vector(encode(protocol, b))
+    product = protocol.mul_fixed_point(sa, sb)
+    opened = decode(protocol, protocol.open(product))
+    expected = np.asarray(a) * np.asarray(b)
+    # input rounding + one truncation unit
+    assert np.allclose(opened, expected, atol=0.01 + np.abs(expected) * 1e-4)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    vectors=st.lists(
+        st.lists(st.floats(-100, 100, allow_nan=False), min_size=2, max_size=2),
+        min_size=2,
+        max_size=4,
+    )
+)
+def test_min_max_bracket_sum(vectors):
+    """min <= any input <= max, element-wise, and min/max are attained."""
+    protocol = ShamirProtocol(3, seed=4)
+    inputs = [protocol.input_vector(encode(protocol, v)) for v in vectors]
+    low = decode(protocol, protocol.open(protocol.minimum_inputs(inputs)))
+    high = decode(protocol, protocol.open(protocol.maximum_inputs(inputs)))
+    matrix = np.asarray(vectors)
+    # fixed-point quantization tolerance
+    scale = 1.0 / protocol.encoder.scale
+    assert np.all(low <= matrix.min(axis=0) + scale)
+    assert np.all(high >= matrix.max(axis=0) - scale)
+    assert np.allclose(low, matrix.min(axis=0), atol=scale)
+    assert np.allclose(high, matrix.max(axis=0), atol=scale)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    bits=st.lists(
+        st.lists(st.integers(0, 1), min_size=3, max_size=3), min_size=2, max_size=4
+    )
+)
+def test_union_is_elementwise_or(bits):
+    protocol = ShamirProtocol(3, seed=5)
+    encoder = protocol.encoder
+    inputs = [
+        protocol.input_vector(FieldVector([encoder.encode_int(b) for b in row]))
+        for row in bits
+    ]
+    opened = protocol.open(protocol.union_inputs(inputs))
+    result = [encoder.decode_int(e) for e in opened.elements]
+    expected = list(np.asarray(bits).max(axis=0))
+    assert result == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(values=st.lists(reals, min_size=1, max_size=5), scalar=st.integers(-50, 50))
+def test_scale_commutes_with_open(values, scalar):
+    protocol = ShamirProtocol(3, seed=6)
+    shared = protocol.input_vector(encode(protocol, values))
+    opened = decode(protocol, protocol.open(protocol.scale(shared, scalar % PRIME)))
+    assert np.allclose(opened, np.asarray(values) * scalar, atol=abs(scalar) * 1e-4 + 1e-6)

@@ -1,0 +1,89 @@
+"""The @udf decorator and registry."""
+
+import pytest
+
+from repro.errors import UDFError
+from repro.udfgen.decorators import get_spec, udf, udf_registry
+from repro.udfgen.iotypes import literal, merge_transfer, relation, state, transfer
+
+
+@udf(x=relation(), k=literal(), return_type=[state(), transfer()])
+def sample_step(x, k):
+    return {"k": k}, {"k": k}
+
+
+class TestDecorator:
+    def test_spec_attached(self):
+        spec = get_spec(sample_step)
+        assert spec.input_names == ["x", "k"]
+        assert len(spec.outputs) == 2
+        assert spec.name in udf_registry
+
+    def test_source_captured_without_decorator(self):
+        spec = get_spec(sample_step)
+        assert spec.source.startswith("def sample_step")
+        assert "@udf" not in spec.source
+
+    def test_function_still_callable(self):
+        st, tr = sample_step(None, 5)
+        assert st == {"k": 5}
+
+    def test_input_type_lookup(self):
+        spec = get_spec(sample_step)
+        assert spec.input_type("k").kind == "literal"
+        with pytest.raises(UDFError):
+            spec.input_type("missing")
+
+    def test_parameter_mismatch_rejected(self):
+        with pytest.raises(UDFError, match="missing types"):
+            @udf(return_type=transfer())
+            def missing_types(x):
+                return {}
+
+    def test_extra_parameter_rejected(self):
+        with pytest.raises(UDFError, match="unknown parameters"):
+            @udf(x=relation(), y=relation(), return_type=transfer())
+            def extra(x):
+                return {}
+
+    def test_zero_outputs_rejected(self):
+        with pytest.raises(UDFError):
+            @udf(x=relation(), return_type=[])
+            def no_outputs(x):
+                return {}
+
+    def test_literal_not_valid_output(self):
+        with pytest.raises(UDFError):
+            @udf(x=relation(), return_type=literal())
+            def bad_output(x):
+                return 1
+
+    def test_merge_transfer_not_valid_output(self):
+        with pytest.raises(UDFError):
+            @udf(x=relation(), return_type=merge_transfer())
+            def bad_output2(x):
+                return []
+
+    def test_single_return_type_accepted(self):
+        @udf(x=relation(), return_type=transfer())
+        def single(x):
+            return {}
+
+        assert len(get_spec(single).outputs) == 1
+
+    def test_get_spec_requires_decoration(self):
+        def plain():
+            pass
+
+        with pytest.raises(UDFError):
+            get_spec(plain)
+
+
+class TestRegistry:
+    def test_lookup_unknown(self):
+        with pytest.raises(UDFError):
+            udf_registry.get("no_such_udf")
+
+    def test_names_sorted(self):
+        names = udf_registry.names()
+        assert names == sorted(names)

@@ -1,0 +1,132 @@
+"""Serialization runtime used by generated UDF bodies."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import UDFError
+from repro.udfgen.runtime import (
+    Relation,
+    columns_to_tensor,
+    deserialize_state,
+    deserialize_transfer,
+    serialize_state,
+    serialize_transfer,
+    sql_quote,
+    tensor_to_columns,
+    validate_secure_transfer,
+)
+
+
+class TestRelation:
+    def test_shape_and_access(self):
+        rel = Relation({"a": np.array([1.0, 2.0]), "b": np.array([3.0, 4.0])})
+        assert rel.shape == (2, 2)
+        assert list(rel["a"]) == [1.0, 2.0]
+        assert "a" in rel and "z" not in rel
+
+    def test_ragged_rejected(self):
+        with pytest.raises(UDFError):
+            Relation({"a": np.array([1.0]), "b": np.array([1.0, 2.0])})
+
+    def test_to_matrix_column_order(self):
+        rel = Relation({"a": np.array([1.0]), "b": np.array([2.0])})
+        assert rel.to_matrix(["b", "a"]).tolist() == [[2.0, 1.0]]
+
+    def test_dropna(self):
+        rel = Relation(
+            {"a": np.array([1.0, np.nan]), "b": np.array(["x", "y"], dtype=object)}
+        )
+        clean = rel.dropna()
+        assert len(clean) == 1
+        assert clean["b"][0] == "x"
+
+    def test_dropna_object_none(self):
+        rel = Relation({"b": np.array(["x", None], dtype=object)})
+        assert len(rel.dropna()) == 1
+
+    def test_empty(self):
+        assert len(Relation({})) == 0
+
+
+class TestStateSerialization:
+    def test_roundtrip_arbitrary_objects(self):
+        payload = {"matrix": np.eye(2), "nested": {"x": [1, 2]}, "text": "hi"}
+        restored = deserialize_state(serialize_state(payload))
+        assert np.array_equal(restored["matrix"], np.eye(2))
+        assert restored["nested"] == {"x": [1, 2]}
+
+
+class TestTransferSerialization:
+    def test_numpy_becomes_lists(self):
+        blob = serialize_transfer({"v": np.array([1.5, 2.5]), "n": np.int64(3)})
+        restored = deserialize_transfer(blob)
+        assert restored == {"v": [1.5, 2.5], "n": 3}
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(UDFError):
+            serialize_transfer([1, 2])
+
+    def test_numpy_bool(self):
+        assert deserialize_transfer(serialize_transfer({"f": np.bool_(True)})) == {"f": True}
+
+
+class TestSecureTransferValidation:
+    def test_valid(self):
+        payload = {"s": {"data": [1, 2], "operation": "sum"}}
+        assert validate_secure_transfer(payload) == payload
+
+    def test_missing_operation(self):
+        with pytest.raises(UDFError):
+            validate_secure_transfer({"s": {"data": [1]}})
+
+    def test_bad_operation(self):
+        with pytest.raises(UDFError):
+            validate_secure_transfer({"s": {"data": [1], "operation": "mean"}})
+
+    def test_non_dict(self):
+        with pytest.raises(UDFError):
+            validate_secure_transfer("nope")
+
+
+class TestTensorLayout:
+    def test_1d_roundtrip(self):
+        array = np.array([1.5, 2.5, 3.5])
+        assert np.array_equal(columns_to_tensor(tensor_to_columns(array)), array)
+
+    def test_2d_roundtrip(self):
+        array = np.arange(6, dtype=np.float64).reshape(2, 3)
+        assert np.array_equal(columns_to_tensor(tensor_to_columns(array)), array)
+
+    def test_3d_rejected(self):
+        with pytest.raises(UDFError):
+            tensor_to_columns(np.zeros((2, 2, 2)))
+
+    @given(
+        st.integers(1, 5), st.integers(1, 5),
+    )
+    def test_2d_roundtrip_property(self, rows, cols):
+        array = np.arange(rows * cols, dtype=np.float64).reshape(rows, cols)
+        assert np.array_equal(columns_to_tensor(tensor_to_columns(array)), array)
+
+
+class TestSQLQuote:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (None, "NULL"),
+            (True, "TRUE"),
+            (False, "FALSE"),
+            (3, "3"),
+            (2.5, "2.5"),
+            ("plain", "'plain'"),
+            ("it's", "'it''s'"),
+        ],
+    )
+    def test_quoting(self, value, expected):
+        assert sql_quote(value) == expected
+
+    def test_numpy_scalars(self):
+        assert sql_quote(np.int64(3)) == "3"
+        assert sql_quote(np.float64(1.5)) == "1.5"
