@@ -1,30 +1,49 @@
 """E5 — Figure 1 architecture: scaling with the number of workers.
 
-Fixes the total caseload and partitions it over 1..8 workers; measures the
-wall time of federated linear regression and k-means plus the transport
-traffic.  Expected shape: per-experiment time stays near-flat (master-side
-aggregation is constant-size) while per-worker data volume shrinks, and
-traffic grows linearly with the worker count.
+Two measurements:
+
+1. *Scaling shape* — fixes the total caseload and partitions it over 1..8
+   workers; measures the wall time of federated linear regression and
+   k-means plus the transport traffic.  Expected shape: per-experiment time
+   stays near-flat (master-side aggregation is constant-size) while
+   per-worker data volume shrinks, and traffic grows linearly with the
+   worker count.
+
+2. *Fan-out speedup* — the same federation with ``sleep_latency=True`` so
+   every message really costs its modeled network time, run once with
+   ``parallelism=1`` (the pre-fan-out sequential dispatch) and once with
+   full-width concurrent dispatch.  The parallel transport overlaps the
+   per-worker sends, so wall time drops toward ``max()`` of each group
+   instead of the sum — the speedup the production task queue provides.
+
+Results are written both human-readable (``results/e5_scaling.txt``) and
+machine-readable (``results/BENCH_e5.json``).
 """
 
 from __future__ import annotations
 
+import json
 import time
 
 import pytest
 
 from repro.core.experiment import ExperimentEngine, ExperimentRequest
 from repro.data.cohorts import CohortSpec, generate_cohort
-from repro.engine.table import concat_tables
 from repro.federation.controller import FederationConfig, create_federation
 
-from benchmarks.conftest import write_report
+from benchmarks.conftest import RESULTS_DIR, write_report
 
 TOTAL_ROWS = 1600
 WORKER_COUNTS = (1, 2, 4, 8)
 
+#: Modeled per-message latency for the speedup measurement; large enough to
+#: dominate scheduling noise, small enough for a CI smoke run.
+SPEEDUP_LATENCY_S = 0.01
 
-def build_federation(n_workers: int):
+
+def build_federation(n_workers: int, parallelism: int | None = None,
+                     sleep_latency: bool = False,
+                     latency_seconds: float = 0.0005):
     rows_per_worker = TOTAL_ROWS // n_workers
     worker_data = {}
     for index in range(n_workers):
@@ -32,25 +51,37 @@ def build_federation(n_workers: int):
             CohortSpec(f"site{index}", rows_per_worker, seed=100 + index)
         )
         worker_data[f"hospital_{index}"] = {"dementia": cohort}
-    return create_federation(worker_data, FederationConfig(seed=5))
+    return create_federation(
+        worker_data,
+        FederationConfig(
+            seed=5,
+            parallelism=parallelism,
+            sleep_latency=sleep_latency,
+            latency_seconds=latency_seconds,
+        ),
+    )
+
+
+def linreg_request(datasets):
+    return ExperimentRequest(
+        algorithm="linear_regression", data_model="dementia",
+        datasets=datasets, y=("lefthippocampus",), x=("agevalue",),
+    )
+
+
+def kmeans_request(datasets):
+    return ExperimentRequest(
+        algorithm="kmeans", data_model="dementia", datasets=datasets,
+        y=("ab_42", "p_tau"),
+        parameters={"k": 3, "seed": 1, "iterations_max_number": 10, "e": 0.0},
+    )
 
 
 def run_experiments(federation, datasets):
     engine = ExperimentEngine(federation, aggregation="plain")
-    regression = engine.run(
-        ExperimentRequest(
-            algorithm="linear_regression", data_model="dementia",
-            datasets=datasets, y=("lefthippocampus",), x=("agevalue",),
-        )
-    )
+    regression = engine.run(linreg_request(datasets))
     assert regression.status.value == "success", regression.error
-    clusters = engine.run(
-        ExperimentRequest(
-            algorithm="kmeans", data_model="dementia", datasets=datasets,
-            y=("ab_42", "p_tau"),
-            parameters={"k": 3, "seed": 1, "iterations_max_number": 10, "e": 0.0},
-        )
-    )
+    clusters = engine.run(kmeans_request(datasets))
     assert clusters.status.value == "success", clusters.error
     return regression, clusters
 
@@ -63,6 +94,27 @@ def test_benchmark_scaling(benchmark, n_workers):
                        rounds=2, iterations=1)
 
 
+def _timed_linreg(n_workers: int, parallelism: int | None) -> tuple[float, dict]:
+    """Best-of-2 wall time of federated linear regression on a federation
+    whose transport actually sleeps each message's modeled latency."""
+    best = float("inf")
+    result = None
+    for _ in range(2):
+        federation = build_federation(
+            n_workers, parallelism=parallelism, sleep_latency=True,
+            latency_seconds=SPEEDUP_LATENCY_S,
+        )
+        datasets = tuple(f"site{i}" for i in range(n_workers))
+        engine = ExperimentEngine(federation, aggregation="plain")
+        t0 = time.perf_counter()
+        outcome = engine.run(linreg_request(datasets))
+        elapsed = time.perf_counter() - t0
+        assert outcome.status.value == "success", outcome.error
+        best = min(best, elapsed)
+        result = outcome.result
+    return best, result
+
+
 def test_report_scaling():
     lines = [
         f"E5 — scaling with worker count (total caseload fixed at {TOTAL_ROWS} rows)",
@@ -71,39 +123,86 @@ def test_report_scaling():
         f"{'messages':>10}{'MB sent':>10}{'sim net (s)':>12}",
     ]
     times = {}
+    scaling_rows = []
     for n_workers in WORKER_COUNTS:
         federation = build_federation(n_workers)
         datasets = tuple(f"site{i}" for i in range(n_workers))
-        start = time.perf_counter()
         run_experiments(federation, datasets)
         # isolate: rerun each algorithm separately for per-algo timing
         federation.transport.stats.reset()
         engine = ExperimentEngine(federation, aggregation="plain")
         t0 = time.perf_counter()
-        engine.run(ExperimentRequest(
-            algorithm="linear_regression", data_model="dementia",
-            datasets=datasets, y=("lefthippocampus",), x=("agevalue",),
-        ))
+        engine.run(linreg_request(datasets))
         linreg_time = time.perf_counter() - t0
         t0 = time.perf_counter()
-        engine.run(ExperimentRequest(
-            algorithm="kmeans", data_model="dementia", datasets=datasets,
-            y=("ab_42", "p_tau"),
-            parameters={"k": 3, "seed": 1, "iterations_max_number": 10, "e": 0.0},
-        ))
+        engine.run(kmeans_request(datasets))
         kmeans_time = time.perf_counter() - t0
-        stats = federation.transport.stats
+        stats = federation.transport.snapshot()
         lines.append(
             f"{n_workers:>8}{TOTAL_ROWS // n_workers:>13}{linreg_time:>12.3f}"
             f"{kmeans_time:>12.3f}{stats.messages:>10}"
             f"{stats.bytes_sent / 1e6:>10.3f}{stats.simulated_seconds:>12.4f}"
         )
         times[n_workers] = (linreg_time, kmeans_time, stats.messages)
+        scaling_rows.append({
+            "workers": n_workers,
+            "rows_per_worker": TOTAL_ROWS // n_workers,
+            "linreg_seconds": round(linreg_time, 4),
+            "kmeans_seconds": round(kmeans_time, 4),
+            "messages": stats.messages,
+            "bytes_sent": stats.bytes_sent,
+            "simulated_network_seconds": round(stats.simulated_seconds, 4),
+        })
     lines.append("")
     lines.append("shape: wall time stays near-flat as the caseload spreads; message")
     lines.append("count grows linearly with workers (per-worker task dispatch).")
+
+    # ---- fan-out speedup: sequential vs concurrent dispatch -----------------
+    lines.append("")
+    lines.append(
+        f"fan-out speedup — linear regression, sleep_latency transport "
+        f"({SPEEDUP_LATENCY_S * 1000:.0f} ms/message)"
+    )
+    lines.append(
+        f"{'workers':>8}{'sequential (s)':>16}{'parallel (s)':>14}{'speedup':>9}"
+    )
+    speedup_rows = []
+    speedups = {}
+    for n_workers in WORKER_COUNTS:
+        sequential_s, seq_result = _timed_linreg(n_workers, parallelism=1)
+        parallel_s, par_result = _timed_linreg(n_workers, parallelism=None)
+        # The fan-out width must not change the numbers, only the wall time.
+        assert seq_result["coefficients"] == par_result["coefficients"]
+        speedup = sequential_s / parallel_s
+        speedups[n_workers] = speedup
+        lines.append(
+            f"{n_workers:>8}{sequential_s:>16.3f}{parallel_s:>14.3f}{speedup:>9.2f}"
+        )
+        speedup_rows.append({
+            "workers": n_workers,
+            "sequential_seconds": round(sequential_s, 4),
+            "parallel_seconds": round(parallel_s, 4),
+            "speedup": round(speedup, 3),
+        })
+    lines.append("")
+    lines.append("speedup: concurrent dispatch overlaps per-worker sends, so wall")
+    lines.append("time trends toward max() of each fan-out group instead of the sum.")
     write_report("e5_scaling", lines)
+
+    payload = {
+        "benchmark": "e5_scaling",
+        "total_rows": TOTAL_ROWS,
+        "speedup_latency_seconds": SPEEDUP_LATENCY_S,
+        "scaling": scaling_rows,
+        "fanout_speedup": speedup_rows,
+        "speedup_at_4_workers": round(speedups[4], 3),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_e5.json").write_text(json.dumps(payload, indent=2) + "\n")
+
     # messages grow with worker count
     assert times[8][2] > times[1][2]
     # runtime does not explode with workers (within 4x of the single-worker run)
     assert times[8][0] < times[1][0] * 4 + 0.5
+    # acceptance: concurrent dispatch at 4 workers at least halves wall time
+    assert speedups[4] >= 2.0, f"4-worker fan-out speedup {speedups[4]:.2f} < 2.0"

@@ -146,10 +146,15 @@ def test_report_fusion_ablation():
         ("stateful (session cache)", run_stateful),
         ("fused (single UDF)", run_fused),
     ):
-        database = make_database()
-        start = time.perf_counter()
-        results[label] = runner(database)
-        timings[label] = time.perf_counter() - start
+        # Best of three: the plan/compile caches make the absolute runtimes
+        # small enough that a single run is at the mercy of GC pauses.
+        best = float("inf")
+        for _ in range(3):
+            database = make_database()
+            start = time.perf_counter()
+            results[label] = runner(database)
+            best = min(best, time.perf_counter() - start)
+        timings[label] = best
     baseline = timings["naive (pickle per step)"]
     lines = [
         "E9 — roadmap ablation: stateful execution and UDF fusion",

@@ -107,6 +107,7 @@ class ExecutionContext:
                 f"{len(spec.outputs)} outputs of {spec.name!r}"
             )
         step_id = f"{self.job_id}_s{next(self._step_counter)}"
+        self._prebroadcast(keyword_args.values())
         per_worker: dict[str, dict[str, Any]] = {}
         for worker in self.workers:
             arguments: dict[str, Any] = {}
@@ -155,6 +156,23 @@ class ExecutionContext:
             f"parameter {pname!r}: cannot bind a {type(value).__name__} to "
             f"{type(iotype).__name__}"
         )
+
+    def _prebroadcast(self, values: Any) -> None:
+        """Ship global transfers to every missing worker in one fan-out.
+
+        Binding then finds each (table, worker) placement already cached, so
+        a broadcast costs one concurrent dispatch instead of a per-worker
+        round-trip chain.
+        """
+        for value in values:
+            if not (isinstance(value, GlobalHandle) and value.kind == "transfer"):
+                continue
+            missing = [w for w in self.workers if (value.table, w) not in self._broadcasts]
+            if not missing:
+                continue
+            placed = self.master.broadcast_transfer(self.job_id, value.table, missing)
+            for worker, remote_table in placed.items():
+                self._broadcasts[(value.table, worker)] = remote_table
 
     def _broadcast(self, handle: GlobalHandle, worker: str, step_id: str) -> str:
         key = (handle.table, worker)

@@ -63,6 +63,10 @@ class Database:
         with self._lock:
             return name in self._tables
 
+    def has_function(self, name: str) -> bool:
+        with self._lock:
+            return name in self._functions
+
     # ------------------------------------------------------------ direct API
 
     def register_table(self, name: str, table: Table, replace: bool = False) -> None:

@@ -10,6 +10,7 @@ relational inputs through loopback queries and emits its outputs as columns.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 import numpy as np
@@ -95,15 +96,22 @@ def run_udf(
     for (pname, _), value in zip(scalar_params, literal_args):
         namespace[pname] = value
 
-    wrapped = _wrap_body(definition.body)
+    code = _compiled_body(definition.name, definition.body)
     try:
-        exec(compile(wrapped, f"<udf:{definition.name}>", "exec"), namespace)
+        exec(code, namespace)
         raw = namespace["__udf"]()
     except UDFError:
         raise
     except Exception as exc:  # noqa: BLE001 - UDF bodies are user code
         raise UDFError(f"UDF {definition.name} raised {type(exc).__name__}: {exc}") from exc
     return _coerce_result(definition, raw)
+
+
+@lru_cache(maxsize=512)
+def _compiled_body(name: str, body: str):
+    """Compile a UDF body once per (name, body); iterative flows re-run the
+    same definition hundreds of times and the parse/compile cost dominates."""
+    return compile(_wrap_body(body), f"<udf:{name}>", "exec")
 
 
 def _wrap_body(body: str) -> str:

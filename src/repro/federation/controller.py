@@ -24,6 +24,11 @@ class FederationConfig:
     bandwidth_bytes_per_second: float = 1.25e8
     drop_probability: float = 0.0
     seed: int | None = None
+    #: Fan-out width for concurrent dispatch; None -> env var or
+    #: min(32, n_workers).  1 restores fully sequential dispatch.
+    parallelism: int | None = None
+    #: Actually sleep each message's modeled latency (scaling benchmarks).
+    sleep_latency: bool = False
 
 
 @dataclass
@@ -66,6 +71,8 @@ def create_federation(
         bandwidth_bytes_per_second=config.bandwidth_bytes_per_second,
         drop_probability=config.drop_probability,
         seed=config.seed,
+        max_workers=config.parallelism,
+        sleep_latency=config.sleep_latency,
     )
     workers: dict[str, Worker] = {}
     for worker_id, models in worker_data.items():

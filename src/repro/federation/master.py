@@ -5,11 +5,18 @@ among the workers and keeps track of the dataset availability on each worker
 for efficient algorithm shipping.  It also orchestrates the algorithm flow
 and handles the aggregates returned from the local computations.  Finally, it
 is also possible to perform computations locally as well."
+
+Every per-worker loop here fans out through the transport's concurrent
+dispatch (:meth:`Transport.send_many` / :meth:`Transport.broadcast`), the
+in-process stand-in for the production platform's task queue: local steps,
+catalog refreshes, transfer prefetches, secure-share fetches and broadcasts
+all overlap across workers instead of accumulating serially.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from typing import Any, Mapping, Sequence
 
 from repro.engine.database import Database
@@ -42,16 +49,29 @@ class Master:
         self._availability: dict[str, dict[str, list[str]]] = {}
         self._global_outputs: dict[str, str] = {}  # table -> kind
         self._remote_counter = 0
+        self._counter_lock = threading.Lock()
+        # Transfer tables prefetched by a parallel fan-out, keyed by
+        # 'worker/table'; the remote resolver consumes them so resolution at
+        # query time needs no further network round trips.
+        self._prefetched: dict[str, Any] = {}
+        self._prefetch_lock = threading.Lock()
 
     # ---------------------------------------------------------- catalog/avail
 
     def refresh_catalog(self) -> dict[str, dict[str, list[str]]]:
-        """Poll workers for their datasets; tolerate unreachable workers."""
+        """Poll workers for their datasets; tolerate unreachable workers.
+
+        The poll is one broadcast: every worker answers concurrently, and the
+        availability map is assembled in ``worker_ids`` order so the result
+        never depends on response timing.
+        """
+        responses = self.transport.broadcast(
+            self.node_id, self.worker_ids, "list_datasets", on_error="skip"
+        )
         availability: dict[str, dict[str, list[str]]] = {}
         for worker in self.worker_ids:
-            try:
-                response = self.transport.send(self.node_id, worker, "list_datasets")
-            except NodeUnavailableError:
+            response = responses.get(worker)
+            if response is None:
                 continue
             for data_model, codes in response["datasets"].items():
                 model_map = availability.setdefault(data_model, {})
@@ -88,14 +108,10 @@ class Master:
         return chosen
 
     def alive_workers(self) -> list[str]:
-        alive = []
-        for worker in self.worker_ids:
-            try:
-                self.transport.send(self.node_id, worker, "ping")
-            except NodeUnavailableError:
-                continue
-            alive.append(worker)
-        return alive
+        responses = self.transport.broadcast(
+            self.node_id, self.worker_ids, "ping", on_error="skip"
+        )
+        return [worker for worker in self.worker_ids if worker in responses]
 
     # ------------------------------------------------------------ local steps
 
@@ -105,21 +121,30 @@ class Master:
         udf_name: str,
         per_worker_arguments: Mapping[str, Mapping[str, Any]],
     ) -> dict[str, list[dict[str, str]]]:
-        """Run one local computation on each named worker.
+        """Run one local computation on each named worker, concurrently.
 
         ``per_worker_arguments`` maps worker id to that worker's argument
         specs.  Returns {worker: [{"table":..., "kind":...}, ...]}.
         """
-        results: dict[str, list[dict[str, str]]] = {}
-        for worker, arguments in per_worker_arguments.items():
-            response = self.transport.send(
-                self.node_id,
-                worker,
-                "run_udf",
-                {"job_id": job_id, "udf_name": udf_name, "arguments": dict(arguments)},
-            )
-            results[worker] = response["outputs"]
-        return results
+        workers = list(per_worker_arguments)
+        responses = self.transport.send_many(
+            self.node_id,
+            [
+                (
+                    worker,
+                    "run_udf",
+                    {
+                        "job_id": job_id,
+                        "udf_name": udf_name,
+                        "arguments": dict(per_worker_arguments[worker]),
+                    },
+                )
+                for worker in workers
+            ],
+        )
+        return {
+            worker: response["outputs"] for worker, response in zip(workers, responses)
+        }
 
     # ------------------------------------------------------ aggregation paths
 
@@ -130,19 +155,38 @@ class Master:
 
         The master declares one remote table per worker output and a merge
         table over them; selecting from the merge table pulls each transfer
-        through the remote resolver at query time.
+        through the remote resolver at query time.  The transfers themselves
+        are prefetched with one concurrent fan-out, so the query-time
+        resolver hits the prefetch instead of issuing serial round trips.
         """
-        self._remote_counter += 1
-        merge_name = f"merge_{job_id}_{self._remote_counter}"
+        with self._counter_lock:
+            self._remote_counter += 1
+            counter = self._remote_counter
+        ordered = sorted(worker_tables.items())
+        self._prefetch_tables(ordered)
+        merge_name = f"merge_{job_id}_{counter}"
         self.database.execute(f"CREATE MERGE TABLE {merge_name} (transfer VARCHAR)")
-        for index, (worker, table) in enumerate(sorted(worker_tables.items())):
-            remote_name = f"remote_{job_id}_{self._remote_counter}_{index}"
+        for index, (worker, table) in enumerate(ordered):
+            remote_name = f"remote_{job_id}_{counter}_{index}"
             self.database.execute(
                 f"CREATE REMOTE TABLE {remote_name} (transfer VARCHAR) ON '{worker}/{table}'"
             )
             self.database.execute(f"ALTER TABLE {merge_name} ADD TABLE {remote_name}")
         merged = self.database.query(f"SELECT * FROM {merge_name}")
         return [json.loads(blob) for blob in merged.column("transfer").to_list()]
+
+    def _prefetch_tables(self, worker_tables: Sequence[tuple[str, str]]) -> None:
+        """Fetch several workers' transfer tables in one parallel fan-out."""
+        responses = self.transport.send_many(
+            self.node_id,
+            [
+                (worker, "fetch_table", {"table": table})
+                for worker, table in worker_tables
+            ],
+        )
+        with self._prefetch_lock:
+            for (worker, table), response in zip(worker_tables, responses):
+                self._prefetched[f"{worker}/{table}"] = response["table"]
 
     def gather_transfers_secure(
         self,
@@ -152,12 +196,20 @@ class Master:
     ) -> dict[str, Any]:
         """Secure path: signal the SMPC cluster to import and aggregate.
 
+        The share payloads are fetched from all workers concurrently; the
+        cluster then imports them in sorted worker order (imports mutate
+        protocol state, so they stay sequential and deterministic).
+
         Returns the single aggregated transfer dict (key -> aggregated data).
         """
         if self.smpc_cluster is None:
             raise FederationError("no SMPC cluster is configured")
-        for worker, table in sorted(worker_tables.items()):
-            response = self.transport.send(SMPC_ID, worker, "get_secure_payload", {"table": table})
+        ordered = sorted(worker_tables.items())
+        responses = self.transport.send_many(
+            SMPC_ID,
+            [(worker, "get_secure_payload", {"table": table}) for worker, table in ordered],
+        )
+        for (worker, _table), response in zip(ordered, responses):
             self.smpc_cluster.import_shares(job_id, worker, response["payload"])
         aggregated = self.smpc_cluster.aggregate(job_id, noise=noise)
         return {key: value for key, value in aggregated.items()}
@@ -179,8 +231,10 @@ class Master:
 
     def store_global_transfer(self, job_id: str, data: Mapping[str, Any]) -> str:
         """Materialize an aggregated dict as a transfer table on the master."""
-        self._remote_counter += 1
-        table = f"transfer_{job_id}_{self._remote_counter}"
+        with self._counter_lock:
+            self._remote_counter += 1
+            counter = self._remote_counter
+        table = f"transfer_{job_id}_{counter}"
         self.database.execute(f"CREATE TABLE {table} (transfer VARCHAR)")
         blob = json.dumps(dict(data)).replace("'", "''")
         self.database.execute(f"INSERT INTO {table} VALUES ('{blob}')")
@@ -200,26 +254,26 @@ class Master:
     def broadcast_transfer(self, job_id: str, table: str, workers: Sequence[str]) -> dict[str, str]:
         """Ship a global transfer to workers for the next local iteration."""
         blob = self.database.scalar(f"SELECT * FROM {table}")
-        placed: dict[str, str] = {}
-        for worker in workers:
-            remote_table = f"bcast_{table}_{worker}"
-            self.transport.send(
-                self.node_id,
-                worker,
-                "put_transfer",
-                {"job_id": job_id, "table": remote_table, "blob": blob},
-            )
-            placed[worker] = remote_table
+        placed = {worker: f"bcast_{table}_{worker}" for worker in workers}
+        self.transport.send_many(
+            self.node_id,
+            [
+                (
+                    worker,
+                    "put_transfer",
+                    {"job_id": job_id, "table": placed[worker], "blob": blob},
+                )
+                for worker in workers
+            ],
+        )
         return placed
 
     # ---------------------------------------------------------------- cleanup
 
     def cleanup(self, job_id: str, workers: Sequence[str]) -> None:
-        for worker in workers:
-            try:
-                self.transport.send(self.node_id, worker, "cleanup", {"job_id": job_id})
-            except NodeUnavailableError:
-                continue
+        self.transport.broadcast(
+            self.node_id, list(workers), "cleanup", {"job_id": job_id}, on_error="skip"
+        )
         for table in [t for t in self._global_outputs if job_id in t]:
             self.database.drop_table(table, if_exists=True)
             del self._global_outputs[table]
@@ -227,7 +281,15 @@ class Master:
     # ----------------------------------------------------------------- remote
 
     def _resolve_remote(self, location: str):
-        """Remote-table resolver: 'worker/table' -> Table, via the transport."""
+        """Remote-table resolver: 'worker/table' -> Table, via the transport.
+
+        Prefetched payloads (from :meth:`_prefetch_tables`) are consumed
+        first; only cold lookups go over the network.
+        """
+        with self._prefetch_lock:
+            payload = self._prefetched.pop(location, None)
+        if payload is not None:
+            return table_from_payload(payload)
         try:
             worker, table = location.split("/", 1)
         except ValueError:

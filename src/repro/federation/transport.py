@@ -9,25 +9,52 @@ where it matters for the reproduction:
   bytes over bandwidth), so benchmarks can report modeled network cost,
 - failure injection: nodes can be marked down, or links given a drop
   probability, raising :class:`NodeUnavailableError` like a timeout would.
+
+The production platform dispatches tasks to workers through a concurrent
+task queue, so the master's fan-outs overlap.  :meth:`Transport.send_many`
+and :meth:`Transport.broadcast` reproduce that: a shared thread pool
+dispatches to every destination at once, each destination's handler is
+serialized by a per-node lock (one mailbox per node), and the simulated
+clock charges the *max* over a parallel group instead of the sum.  Setting
+``max_workers=1`` (or ``REPRO_FEDERATION_PARALLELISM=1``) restores fully
+sequential dispatch, including the summed clock, for debugging and A/B
+benchmarking.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import random
-from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Any, Callable
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
 
 from repro.errors import FederationError, NodeUnavailableError
 from repro.federation.messages import Message
 
 Handler = Callable[[Message], dict[str, Any]]
 
+#: Environment knob for the fan-out width; explicit ``max_workers`` wins.
+PARALLELISM_ENV = "REPRO_FEDERATION_PARALLELISM"
+
+#: Upper bound on the shared pool, matching common task-queue defaults.
+MAX_POOL_SIZE = 32
+
+#: A (receiver, kind, payload) triple for :meth:`Transport.send_many`.
+Request = tuple[str, str, "dict[str, Any] | None"]
+
 
 @dataclass
 class TransportStats:
-    """Aggregate traffic counters."""
+    """Aggregate traffic counters.
+
+    Mutation happens only under the owning transport's stats lock; reads
+    from other threads are tear-free in CPython but callers wanting a
+    consistent multi-field view should use :meth:`Transport.snapshot`.
+    """
 
     messages: int = 0
     bytes_sent: int = 0
@@ -39,6 +66,21 @@ class TransportStats:
         self.simulated_seconds = 0.0
 
 
+def _resolve_parallelism(explicit: int | None, n_nodes: int) -> int:
+    """Fan-out width: explicit arg, else env var, else min(32, n_nodes)."""
+    if explicit is not None:
+        return max(1, explicit)
+    env = os.environ.get(PARALLELISM_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise FederationError(
+                f"{PARALLELISM_ENV} must be an integer, got {env!r}"
+            ) from None
+    return max(1, min(MAX_POOL_SIZE, n_nodes))
+
+
 class Transport:
     """Registry of node handlers plus the simulated network model."""
 
@@ -48,25 +90,52 @@ class Transport:
         bandwidth_bytes_per_second: float = 1.25e8,
         drop_probability: float = 0.0,
         seed: int | None = None,
+        max_workers: int | None = None,
+        sleep_latency: bool = False,
     ) -> None:
         if not 0 <= drop_probability <= 1:
             raise FederationError("drop probability must be in [0, 1]")
+        if max_workers is not None and max_workers < 1:
+            raise FederationError("max_workers must be >= 1")
         self.latency_seconds = latency_seconds
         self.bandwidth = bandwidth_bytes_per_second
         self.drop_probability = drop_probability
+        self.max_workers = max_workers
+        #: When True the modeled elapsed time of every message is actually
+        #: slept, so wall-clock behavior matches a deployment where workers
+        #: are separate machines (used by the scaling benchmarks).
+        self.sleep_latency = sleep_latency
         self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
         self._handlers: dict[str, Handler] = {}
+        self._node_locks: dict[str, threading.Lock] = {}
         self._down: set[str] = set()
+        self._stats_lock = threading.Lock()
         self.stats = TransportStats()
-        self.link_stats: dict[tuple[str, str], TransportStats] = defaultdict(TransportStats)
+        self.link_stats: dict[tuple[str, str], TransportStats] = {}
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
 
     def register(self, node_id: str, handler: Handler) -> None:
         if node_id in self._handlers:
             raise FederationError(f"node {node_id!r} already registered")
         self._handlers[node_id] = handler
+        self._node_locks[node_id] = threading.Lock()
 
     def nodes(self) -> list[str]:
         return sorted(self._handlers)
+
+    @property
+    def parallelism(self) -> int:
+        """The effective fan-out width for group sends."""
+        return _resolve_parallelism(self.max_workers, len(self._handlers))
+
+    def snapshot(self) -> TransportStats:
+        """A consistent copy of the aggregate counters."""
+        with self._stats_lock:
+            return TransportStats(
+                self.stats.messages, self.stats.bytes_sent, self.stats.simulated_seconds
+            )
 
     # ------------------------------------------------------ failure injection
 
@@ -84,33 +153,157 @@ class Transport:
 
     def send(self, sender: str, receiver: str, kind: str, payload: dict[str, Any] | None = None) -> dict[str, Any]:
         """Deliver one message and return the handler's response payload."""
+        response, elapsed = self._send_one(sender, receiver, kind, payload, self._draw_drop())
+        with self._stats_lock:
+            self.stats.simulated_seconds += elapsed
+        return response
+
+    def send_many(
+        self,
+        sender: str,
+        requests: Sequence[Request],
+        on_error: str = "raise",
+    ) -> list[Any]:
+        """Deliver a group of messages concurrently; results in request order.
+
+        ``on_error`` selects the failure policy once every attempt finished
+        (a failing destination never aborts or deadlocks the rest):
+
+        - ``"raise"``: re-raise the first error in *request* order,
+        - ``"return"``: the result slot holds the exception instead.
+
+        Drop-probability decisions are drawn from the seeded RNG in request
+        order *before* dispatch, so failure injection stays deterministic
+        regardless of thread scheduling.  The simulated clock charges
+        ``max()`` over the group (the sends overlap); with an effective
+        parallelism of 1 dispatch is sequential and the clock sums, exactly
+        like today's per-destination loops.
+        """
+        if on_error not in ("raise", "return"):
+            raise FederationError(f"unknown on_error policy {on_error!r}")
+        if not requests:
+            return []
+        drops = [self._draw_drop() for _ in requests]
+        width = min(self.parallelism, len(requests))
+
+        def attempt(index: int) -> tuple[Any, float]:
+            receiver, kind, payload = requests[index]
+            try:
+                return self._send_one(sender, receiver, kind, payload, drops[index])
+            except Exception as exc:  # noqa: BLE001 - propagated per policy
+                return exc, 0.0
+
+        if width <= 1:
+            outcomes = [attempt(i) for i in range(len(requests))]
+            clock = sum(elapsed for _, elapsed in outcomes)
+        else:
+            executor = self._ensure_executor()
+            outcomes = list(executor.map(attempt, range(len(requests))))
+            clock = max(elapsed for _, elapsed in outcomes)
+        with self._stats_lock:
+            self.stats.simulated_seconds += clock
+        results = [outcome for outcome, _ in outcomes]
+        if on_error == "raise":
+            for result in results:
+                if isinstance(result, BaseException):
+                    raise result
+        return results
+
+    def broadcast(
+        self,
+        sender: str,
+        receivers: Sequence[str],
+        kind: str,
+        payload: dict[str, Any] | None = None,
+        on_error: str = "raise",
+    ) -> dict[str, dict[str, Any]]:
+        """Send one message to many receivers; returns {receiver: response}.
+
+        ``on_error="skip"`` drops unreachable receivers from the result (the
+        catalog-refresh / cleanup policy); other policies as in
+        :meth:`send_many`.
+        """
+        skip = on_error == "skip"
+        results = self.send_many(
+            sender,
+            [(receiver, kind, payload) for receiver in receivers],
+            on_error="return" if skip else on_error,
+        )
+        responses: dict[str, dict[str, Any]] = {}
+        for receiver, result in zip(receivers, results):
+            if isinstance(result, NodeUnavailableError) and skip:
+                continue
+            if isinstance(result, BaseException):
+                raise result
+            responses[receiver] = result
+        return responses
+
+    # -------------------------------------------------------------- internals
+
+    def _draw_drop(self) -> bool:
+        if not self.drop_probability:
+            return False
+        with self._rng_lock:
+            return self._rng.random() < self.drop_probability
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=min(MAX_POOL_SIZE, max(2, self.parallelism)),
+                    thread_name_prefix="transport",
+                )
+            return self._executor
+
+    def _send_one(
+        self,
+        sender: str,
+        receiver: str,
+        kind: str,
+        payload: dict[str, Any] | None,
+        dropped: bool,
+    ) -> tuple[dict[str, Any], float]:
+        """One request/response exchange; returns (response, simulated s)."""
         handler = self._handlers.get(receiver)
         if handler is None:
             raise FederationError(f"unknown node {receiver!r}")
         if receiver in self._down or sender in self._down:
             raise NodeUnavailableError(f"node {receiver!r} is unreachable")
-        if self.drop_probability and self._rng.random() < self.drop_probability:
+        if dropped:
             raise NodeUnavailableError(
                 f"message {kind!r} from {sender!r} to {receiver!r} was dropped"
             )
         message = Message(sender, receiver, kind, payload or {})
         size = _payload_size(message.payload)
-        self._account(sender, receiver, size)
-        response = handler(message)
+        elapsed = self._account(sender, receiver, size)
+        node_lock = self._node_locks[receiver]
+        with node_lock:
+            response = handler(message)
         if response is None:
             response = {}
-        self._account(receiver, sender, _payload_size(response))
-        return response
+        elapsed += self._account(receiver, sender, _payload_size(response))
+        if self.sleep_latency and elapsed > 0:
+            time.sleep(elapsed)
+        return response, elapsed
 
-    def _account(self, sender: str, receiver: str, size: int) -> None:
+    def _account(self, sender: str, receiver: str, size: int) -> float:
+        """Meter one message; returns its modeled elapsed seconds.
+
+        The *global* simulated clock is charged by the caller (sum for
+        sequential sends, max over a parallel group); per-link clocks always
+        sum because each link carries its messages back to back.
+        """
         elapsed = self.latency_seconds + size / self.bandwidth
-        self.stats.messages += 1
-        self.stats.bytes_sent += size
-        self.stats.simulated_seconds += elapsed
-        link = self.link_stats[(sender, receiver)]
-        link.messages += 1
-        link.bytes_sent += size
-        link.simulated_seconds += elapsed
+        with self._stats_lock:
+            self.stats.messages += 1
+            self.stats.bytes_sent += size
+            link = self.link_stats.get((sender, receiver))
+            if link is None:
+                link = self.link_stats[(sender, receiver)] = TransportStats()
+            link.messages += 1
+            link.bytes_sent += size
+            link.simulated_seconds += elapsed
+        return elapsed
 
 
 def _payload_size(payload: Any) -> int:

@@ -18,6 +18,7 @@ Privacy rules enforced here (the paper's key design principles):
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass
 from typing import Any
 
@@ -60,6 +61,10 @@ class Worker:
         self._datasets: dict[str, list[str]] = {}  # data_model -> dataset codes
         self._data_tables: dict[str, str] = {}  # data_model -> table name
         self._outputs: dict[str, _OutputRecord] = {}  # table -> record
+        # The transport already serializes deliveries per destination; this
+        # lock additionally protects _outputs against direct concurrent use
+        # (multiple transports, tests driving handlers by hand).
+        self._handle_lock = threading.RLock()
 
     # -------------------------------------------------------------- data load
 
@@ -111,7 +116,8 @@ class Worker:
         handler = handlers.get(message.kind)
         if handler is None:
             raise FederationError(f"worker cannot handle message kind {message.kind!r}")
-        return handler(dict(message.payload))
+        with self._handle_lock:
+            return handler(dict(message.payload))
 
     # --------------------------------------------------------------- handlers
 

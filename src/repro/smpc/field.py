@@ -128,7 +128,14 @@ class FieldVector:
 
 
 def vector_sum(vectors: Iterable[FieldVector]) -> FieldVector:
-    """Element-wise sum of several equal-length vectors."""
+    """Element-wise sum of several equal-length vectors.
+
+    Uses lazy modular reduction: elements are < 2^127, so Python's bignum
+    addition cannot lose information, and one ``% PRIME`` per element at the
+    end replaces one per element *per vector*.  This is the SMPC aggregation
+    hot path — every share import and every reconstruction funnels through
+    here — and modular reduction of 127-bit values dominates its cost.
+    """
     iterator = iter(vectors)
     try:
         total = next(iterator)
@@ -136,8 +143,9 @@ def vector_sum(vectors: Iterable[FieldVector]) -> FieldVector:
         raise SMPCError("vector_sum of zero vectors") from None
     result = list(total.elements)
     for vector in iterator:
-        if len(vector) != len(result):
+        other = vector.elements
+        if len(other) != len(result):
             raise SMPCError("vector_sum length mismatch")
-        for i, value in enumerate(vector.elements):
-            result[i] = (result[i] + value) % PRIME
-    return FieldVector._raw(result)
+        for i, value in enumerate(other):
+            result[i] += value
+    return FieldVector._raw([value % PRIME for value in result])

@@ -89,3 +89,207 @@ class TestFailureInjection:
     def test_drop_probability_validated(self):
         with pytest.raises(FederationError):
             Transport(drop_probability=1.5)
+
+
+def make_transport(n=4, **kwargs):
+    t = Transport(**kwargs)
+    for i in range(n):
+        t.register(f"w{i}", echo_handler)
+    return t
+
+
+class TestSendMany:
+    def test_results_in_request_order(self):
+        t = make_transport(4)
+        requests = [(f"w{i}", "ping", {"i": i}) for i in range(4)]
+        results = t.send_many("w0", requests)
+        assert [r["echo"]["i"] for r in results] == [0, 1, 2, 3]
+
+    def test_empty_request_list(self):
+        t = make_transport(2)
+        assert t.send_many("w0", []) == []
+
+    def test_error_policy_return_keeps_slots(self):
+        t = make_transport(3)
+        t.set_down("w1")
+        results = t.send_many(
+            "w0", [("w1", "ping", None), ("w2", "ping", None)], on_error="return"
+        )
+        assert isinstance(results[0], NodeUnavailableError)
+        assert results[1]["kind"] == "ping"
+
+    def test_error_policy_raise_first_in_request_order(self):
+        t = make_transport(4)
+        t.set_down("w2")
+        with pytest.raises(FederationError, match="ghost"):
+            t.send_many(
+                "w0",
+                [("ghost", "ping", None), ("w2", "ping", None), ("w3", "ping", None)],
+            )
+
+    def test_unknown_policy_rejected(self):
+        t = make_transport(2)
+        with pytest.raises(FederationError, match="policy"):
+            t.send_many("w0", [("w1", "ping", None)], on_error="bogus")
+
+    def test_parallel_clock_charges_max_not_sum(self):
+        seq = make_transport(4, latency_seconds=0.01, max_workers=1)
+        par = make_transport(4, latency_seconds=0.01, max_workers=4)
+        requests = [(f"w{i}", "ping", {"x": 1}) for i in range(4)]
+        seq.send_many("w0", requests)
+        par.send_many("w0", requests)
+        # Sequential sends accumulate ~4x the simulated time of the
+        # overlapping parallel group (equal payloads -> equal per-send cost).
+        assert seq.stats.simulated_seconds == pytest.approx(
+            4 * par.stats.simulated_seconds
+        )
+
+    def test_link_stats_always_sum(self):
+        par = make_transport(4, latency_seconds=0.01, max_workers=4)
+        par.send_many("w0", [("w1", "ping", None)] * 3)
+        assert par.link_stats[("w0", "w1")].messages == 3
+        assert par.link_stats[("w1", "w0")].messages == 3
+        link_total = par.link_stats[("w0", "w1")].simulated_seconds
+        assert link_total == pytest.approx(3 * (0.01 + par.link_stats[("w0", "w1")].bytes_sent / 3 / par.bandwidth), rel=0.5)
+
+
+class TestBroadcast:
+    def test_responses_keyed_by_receiver(self):
+        t = make_transport(4)
+        responses = t.broadcast("w0", ["w1", "w2", "w3"], "ping", {"q": 1})
+        assert sorted(responses) == ["w1", "w2", "w3"]
+        assert all(r["echo"] == {"q": 1} for r in responses.values())
+
+    def test_skip_policy_drops_down_nodes(self):
+        t = make_transport(4)
+        t.set_down("w2")
+        responses = t.broadcast("w0", ["w1", "w2", "w3"], "ping", on_error="skip")
+        assert sorted(responses) == ["w1", "w3"]
+
+    def test_raise_policy_propagates(self):
+        t = make_transport(3)
+        t.set_down("w1")
+        with pytest.raises(NodeUnavailableError):
+            t.broadcast("w0", ["w1", "w2"], "ping")
+
+    def test_skip_only_swallows_unavailability(self):
+        t = make_transport(2)
+
+        def angry(message):
+            raise ValueError("handler exploded")
+
+        t.register("angry", angry)
+        with pytest.raises(Exception, match="handler exploded"):
+            t.broadcast("w0", ["w1", "angry"], "ping", on_error="skip")
+
+
+class TestDeterministicDrops:
+    def test_seeded_drops_identical_across_runs(self):
+        outcomes = []
+        for _ in range(2):
+            t = make_transport(6, drop_probability=0.5, seed=77, max_workers=4)
+            results = t.send_many(
+                "w0",
+                [(f"w{i}", "ping", {"i": i}) for i in range(1, 6)] * 4,
+                on_error="return",
+            )
+            outcomes.append([isinstance(r, NodeUnavailableError) for r in results])
+        assert outcomes[0] == outcomes[1]
+        assert any(outcomes[0]) and not all(outcomes[0])
+
+    def test_sequential_and_parallel_draw_same_drops(self):
+        # Drop decisions are drawn in request order before dispatch, so the
+        # fan-out width cannot change which messages fail.
+        patterns = []
+        for width in (1, 4):
+            t = make_transport(6, drop_probability=0.5, seed=123, max_workers=width)
+            results = t.send_many(
+                "w0",
+                [(f"w{i}", "ping", None) for i in range(1, 6)] * 4,
+                on_error="return",
+            )
+            patterns.append([isinstance(r, NodeUnavailableError) for r in results])
+        assert patterns[0] == patterns[1]
+
+
+class TestConcurrentIntegrity:
+    def test_set_down_during_broadcast_never_deadlocks(self):
+        import threading as _threading
+
+        t = make_transport(6, max_workers=4)
+        stop = _threading.Event()
+
+        def flipper():
+            while not stop.is_set():
+                t.set_down("w3")
+                t.set_down("w3", False)
+
+        flip = _threading.Thread(target=flipper)
+        flip.start()
+        try:
+            for _ in range(50):
+                responses = t.broadcast(
+                    "w0", [f"w{i}" for i in range(1, 6)], "ping", on_error="skip"
+                )
+                # Nodes never marked down always answer.
+                assert {"w1", "w2", "w4", "w5"} <= set(responses)
+        finally:
+            stop.set()
+            flip.join(timeout=10)
+        assert not flip.is_alive()
+
+    def test_stats_consistent_under_concurrent_hammering(self):
+        import threading as _threading
+
+        t = make_transport(4, max_workers=4)
+        n_threads, n_sends = 8, 25
+
+        def hammer(index):
+            for j in range(n_sends):
+                t.send_many(
+                    "w0",
+                    [(f"w{1 + (index + j + k) % 3}", "ping", {"j": j}) for k in range(3)],
+                )
+
+        threads = [_threading.Thread(target=hammer, args=(i,)) for i in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = t.snapshot()
+        expected = n_threads * n_sends * 3 * 2  # request + response per send
+        assert snapshot.messages == expected
+        assert sum(s.messages for s in t.link_stats.values()) == expected
+        assert sum(s.bytes_sent for s in t.link_stats.values()) == snapshot.bytes_sent
+
+
+class TestParallelismKnob:
+    def test_default_scales_with_nodes(self):
+        assert make_transport(3).parallelism == 3
+        assert make_transport(40).parallelism == 32
+
+    def test_explicit_max_workers_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FEDERATION_PARALLELISM", "8")
+        assert make_transport(4, max_workers=2).parallelism == 2
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FEDERATION_PARALLELISM", "1")
+        t = make_transport(4)
+        assert t.parallelism == 1
+
+    def test_env_var_validated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FEDERATION_PARALLELISM", "soon")
+        with pytest.raises(FederationError, match="integer"):
+            make_transport(4).parallelism
+
+    def test_invalid_max_workers_rejected(self):
+        with pytest.raises(FederationError):
+            Transport(max_workers=0)
+
+    def test_parallelism_one_matches_sequential_results(self):
+        seq = make_transport(5, max_workers=1)
+        par = make_transport(5, max_workers=5)
+        requests = [(f"w{i}", "ping", {"i": i}) for i in range(5)]
+        assert seq.send_many("w0", requests) == par.send_many("w0", requests)
+        assert seq.snapshot().messages == par.snapshot().messages
+        assert seq.snapshot().bytes_sent == par.snapshot().bytes_sent

@@ -154,9 +154,13 @@ class TestExecution:
         payload = json.loads(db.scalar(f"SELECT * FROM {out}"))
         assert payload["s"]["data"] == 3.0
 
-    def test_unique_function_per_job(self, db):
+    def test_stable_function_unique_outputs_per_job(self, db):
+        # Plan-cached generation: one stable function per UDF shape, but the
+        # output tables (and thus the results) stay unique per job.
         app1 = generate_udf_application(get_spec(secure_step), "ja", {"data": "numbers"})
         app2 = generate_udf_application(get_spec(secure_step), "jb", {"data": "numbers"})
-        assert app1.function_name != app2.function_name
+        assert app1.function_name == app2.function_name
+        assert app1.definition_sql == app2.definition_sql
+        assert app1.output_tables != app2.output_tables
         run_udf_application(db, app1)
         run_udf_application(db, app2)

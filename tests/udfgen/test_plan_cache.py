@@ -1,0 +1,224 @@
+"""The UDF application plan cache: memoized SQL generation.
+
+The optimisation's contract: generation is deterministic (a cached and an
+uncached application are byte-identical), iterative flows stop re-emitting
+definition SQL after their first iteration, and the stateful ``_cache``
+session objects never leak between jobs despite the shared definitions.
+"""
+
+import pytest
+
+from repro import (
+    CohortSpec,
+    FederationConfig,
+    MIPService,
+    create_federation,
+    generate_cohort,
+)
+from repro.engine.database import Database
+from repro.udfgen.decorators import get_spec, udf
+from repro.udfgen.generator import (
+    generate_udf_application,
+    plan_cache,
+    run_udf_application,
+)
+from repro.udfgen.iotypes import literal, relation, state, transfer
+from repro.udfgen.runtime import deserialize_transfer
+
+
+@udf(data=relation(), factor=literal(), return_type=[state(), transfer()])
+def plan_fit(data, factor):
+    total = float(data.to_matrix().sum())
+    return {"total": total}, {"scaled": total * factor}
+
+
+@udf(previous=state(), bump=literal(), return_type=[transfer()])
+def plan_continue(previous, bump):
+    return {"echo": float(previous["total"]) + bump}
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("CREATE TABLE numbers (a REAL, b REAL)")
+    database.execute("INSERT INTO numbers VALUES (1.0, 2.0), (3.0, 4.0)")
+    return database
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    plan_cache.clear()
+    yield
+    plan_cache.clear()
+
+
+def build_service(seed=5):
+    federation = create_federation(
+        {
+            "h1": {"dementia": generate_cohort(CohortSpec("edsd", 120, seed=1))},
+            "h2": {"dementia": generate_cohort(CohortSpec("adni", 120, seed=2))},
+        },
+        FederationConfig(seed=seed),
+    )
+    return MIPService(federation, aggregation="plain")
+
+
+class TestDeterminism:
+    def test_cached_and_uncached_sql_byte_identical(self, db):
+        spec = get_spec(plan_fit)
+        arguments = {"data": "numbers", "factor": 3}
+        cached = generate_udf_application(spec, "j1", arguments, use_cache=True)
+        warm = generate_udf_application(spec, "j1", arguments, use_cache=True)
+        uncached = generate_udf_application(spec, "j1", arguments, use_cache=False)
+        assert cached.statements == warm.statements == uncached.statements
+        assert plan_cache.stats()["hits"] == 1  # the warm call
+
+    def test_cached_and_uncached_results_identical(self, db):
+        spec = get_spec(plan_fit)
+        uncached = generate_udf_application(
+            spec, "ja", {"data": "numbers", "factor": 2}, use_cache=False
+        )
+        cached = generate_udf_application(
+            spec, "jb", {"data": "numbers", "factor": 2}, use_cache=True
+        )
+        _, t1 = run_udf_application(db, uncached)
+        _, t2 = run_udf_application(db, cached)
+        blob1 = deserialize_transfer(db.scalar(f"SELECT * FROM {t1}"))
+        blob2 = deserialize_transfer(db.scalar(f"SELECT * FROM {t2}"))
+        assert blob1 == blob2 == {"scaled": 20.0}
+
+    def test_literal_values_not_baked_into_cache_key(self, db):
+        """Different literal arguments reuse one plan — the k-means pattern
+        where the centroids literal changes every iteration."""
+        spec = get_spec(plan_fit)
+        app1 = generate_udf_application(spec, "j1", {"data": "numbers", "factor": 1})
+        app2 = generate_udf_application(spec, "j2", {"data": "numbers", "factor": 5})
+        assert app1.function_name == app2.function_name
+        assert plan_cache.stats() == {"hits": 1, "misses": 1, "size": 1}
+        _, t1 = run_udf_application(db, app1)
+        _, t2 = run_udf_application(db, app2)
+        assert deserialize_transfer(db.scalar(f"SELECT * FROM {t1}")) == {"scaled": 10.0}
+        assert deserialize_transfer(db.scalar(f"SELECT * FROM {t2}")) == {"scaled": 50.0}
+
+    def test_definition_skipped_on_second_application(self, db):
+        spec = get_spec(plan_fit)
+        app1 = generate_udf_application(spec, "j1", {"data": "numbers", "factor": 1})
+        run_udf_application(db, app1)
+        functions_after_first = db.function_names()
+        app2 = generate_udf_application(spec, "j2", {"data": "numbers", "factor": 2})
+        run_udf_application(db, app2)
+        # Same definition, no second registration.
+        assert db.function_names() == functions_after_first
+
+
+class TestIterativeFlows:
+    def test_kmeans_regenerates_zero_sql_after_first_iteration(self):
+        """Ten k-means iterations must miss the plan cache exactly as often
+        as two: every per-iteration step after the first is a hit."""
+        miss_counts = []
+        for iterations in (2, 10):
+            plan_cache.clear()
+            service = build_service()
+            outcome = service.run_experiment(
+                "kmeans", "dementia", ["edsd", "adni"],
+                y=["ab_42", "p_tau"],
+                parameters={
+                    "k": 3, "seed": 9, "e": 0.0,
+                    "iterations_max_number": iterations,
+                },
+            )
+            assert outcome.status.value == "success"
+            assert outcome.result["iterations"] == iterations
+            stats = plan_cache.stats()
+            assert stats["hits"] > stats["misses"]
+            miss_counts.append(stats["misses"])
+        assert miss_counts[0] == miss_counts[1]
+
+    def test_no_stale_state_between_jobs(self):
+        """Two k-means jobs on one federation share cached plans but must not
+        share stateful ``_cache`` entries or output tables."""
+        service = build_service()
+        results = []
+        for _ in range(2):
+            outcome = service.run_experiment(
+                "kmeans", "dementia", ["edsd", "adni"],
+                y=["ab_42", "p_tau"], parameters={"k": 3, "seed": 9},
+            )
+            assert outcome.status.value == "success"
+            results.append(outcome.result)
+        assert results[0]["centroids"] == results[1]["centroids"]
+        assert results[0]["inertia_history"] == results[1]["inertia_history"]
+
+    def test_session_cache_keys_are_job_scoped(self, db):
+        """State tables (the ``_cache`` keys) embed the job id, so two jobs
+        running the same cached plan can never collide."""
+        spec = get_spec(plan_fit)
+        app1 = generate_udf_application(spec, "j1", {"data": "numbers", "factor": 1})
+        app2 = generate_udf_application(spec, "j2", {"data": "numbers", "factor": 1})
+        state1, _ = run_udf_application(db, app1)
+        state2, _ = run_udf_application(db, app2)
+        assert state1 != state2
+        assert state1 in db.session_cache and state2 in db.session_cache
+        # Chaining from each state stays independent.
+        cont_spec = get_spec(plan_continue)
+        next1 = generate_udf_application(cont_spec, "j1b", {"previous": state1, "bump": 1})
+        next2 = generate_udf_application(cont_spec, "j2b", {"previous": state2, "bump": 2})
+        (out1,) = run_udf_application(db, next1)
+        (out2,) = run_udf_application(db, next2)
+        assert deserialize_transfer(db.scalar(f"SELECT * FROM {out1}")) == {"echo": 11.0}
+        assert deserialize_transfer(db.scalar(f"SELECT * FROM {out2}")) == {"echo": 12.0}
+
+    def test_dropping_state_table_evicts_cache_entry(self, db):
+        spec = get_spec(plan_fit)
+        app = generate_udf_application(spec, "j1", {"data": "numbers", "factor": 1})
+        state_table, _ = run_udf_application(db, app)
+        assert state_table in db.session_cache
+        db.drop_table(state_table)
+        assert state_table not in db.session_cache
+
+
+class TestCacheMechanics:
+    def test_lru_eviction(self):
+        small = type(plan_cache)(maxsize=2)
+        small.store(("a",), object())
+        small.store(("b",), object())
+        small.lookup(("a",))
+        small.store(("c",), object())  # evicts ("b",): least recently used
+        assert small.lookup(("b",)) is None
+        assert small.lookup(("a",)) is not None
+        assert small.lookup(("c",)) is not None
+
+    def test_clear_resets_counters(self):
+        spec = get_spec(plan_fit)
+        generate_udf_application(spec, "j1", {"data": "numbers", "factor": 1})
+        generate_udf_application(spec, "j2", {"data": "numbers", "factor": 1})
+        assert plan_cache.stats()["hits"] == 1
+        plan_cache.clear()
+        assert plan_cache.stats() == {"hits": 0, "misses": 0, "size": 0}
+
+    def test_numpy_and_tuple_literals_round_trip(self, db):
+        """The plan travels as a repr literal; every value the old baking
+        scheme supported must survive the round trip."""
+
+        @udf(data=relation(), weights=literal(), return_type=[transfer()])
+        def weighted(data, weights):
+            lo, hi = weights
+            return {"v": float(data.to_matrix().sum()) * lo + hi}
+
+        spec = get_spec(weighted)
+        app = generate_udf_application(spec, "j1", {"data": "numbers", "weights": (2.0, 0.5)})
+        (out,) = run_udf_application(db, app)
+        assert deserialize_transfer(db.scalar(f"SELECT * FROM {out}")) == {"v": 20.5}
+
+    def test_quotes_in_literals_survive_sql_escaping(self, db):
+        @udf(data=relation(), tag=literal(), return_type=[transfer()])
+        def tagged(data, tag):
+            return {"tag": tag, "n": float(data.to_matrix().sum())}
+
+        spec = get_spec(tagged)
+        tag = "it's a 'quoted' tag"
+        app = generate_udf_application(spec, "j1", {"data": "numbers", "tag": tag})
+        (out,) = run_udf_application(db, app)
+        assert deserialize_transfer(db.scalar(f"SELECT * FROM {out}")) == {
+            "tag": tag, "n": 10.0,
+        }
