@@ -37,6 +37,7 @@ from repro.data.cohorts import (
     generate_synthetic_hospital,
 )
 from repro.federation.controller import Federation, FederationConfig, create_federation
+from repro.federation.policy import FailurePolicy, RetryPolicy
 from repro.learning.trainer import FederatedTrainer, TrainingConfig
 from repro.smpc.cluster import NoiseSpec, SMPCCluster
 
@@ -46,9 +47,11 @@ __all__ = [
     "CohortSpec",
     "ExperimentRequest",
     "ExperimentResult",
+    "FailurePolicy",
     "Federation",
     "FederationConfig",
     "FederatedTrainer",
+    "RetryPolicy",
     "MIPService",
     "NoiseSpec",
     "SMPCCluster",

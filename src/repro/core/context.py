@@ -12,7 +12,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
-from repro.errors import AlgorithmError, FederationError
+from repro.errors import AlgorithmError, FederationError, QuorumError
 from repro.core.state import GlobalHandle, LocalHandle
 from repro.federation.master import Master
 from repro.federation.messages import new_job_id
@@ -72,6 +72,9 @@ class ExecutionContext:
         self.job_id = job_prefix or new_job_id("exp")
         self._step_counter = itertools.count(1)
         self._broadcasts: dict[tuple[str, str], str] = {}  # (table, worker) -> remote name
+        #: Workers evicted from this flow mid-experiment (degrading failure
+        #: policy), mapped to the step at which they were lost.
+        self.evicted: dict[str, str] = {}
 
     # ------------------------------------------------------------- data views
 
@@ -107,7 +110,7 @@ class ExecutionContext:
                 f"{len(spec.outputs)} outputs of {spec.name!r}"
             )
         step_id = f"{self.job_id}_s{next(self._step_counter)}"
-        self._prebroadcast(keyword_args.values())
+        self._prebroadcast(keyword_args.values(), step_id)
         per_worker: dict[str, dict[str, Any]] = {}
         for worker in self.workers:
             arguments: dict[str, Any] = {}
@@ -115,6 +118,12 @@ class ExecutionContext:
                 arguments[pname] = self._bind_local_argument(spec, pname, value, worker, step_id)
             per_worker[worker] = arguments
         results = self.master.run_local_step(step_id, spec.name, per_worker)
+        lost = [worker for worker in self.workers if worker not in results]
+        if lost:
+            # The master's failure policy already enforced the quorum; here
+            # the flow itself degrades: evicted workers leave every later
+            # step and aggregation of this experiment.
+            self._evict(lost, step_id)
         handles: list[LocalHandle] = []
         for index, iotype in enumerate(spec.outputs):
             tables = {worker: results[worker][index]["table"] for worker in self.workers}
@@ -157,12 +166,13 @@ class ExecutionContext:
             f"{type(iotype).__name__}"
         )
 
-    def _prebroadcast(self, values: Any) -> None:
+    def _prebroadcast(self, values: Any, step_id: str) -> None:
         """Ship global transfers to every missing worker in one fan-out.
 
         Binding then finds each (table, worker) placement already cached, so
         a broadcast costs one concurrent dispatch instead of a per-worker
-        round-trip chain.
+        round-trip chain.  Workers that cannot be reached under a degrading
+        failure policy are evicted from the flow before argument binding.
         """
         for value in values:
             if not (isinstance(value, GlobalHandle) and value.kind == "transfer"):
@@ -173,6 +183,22 @@ class ExecutionContext:
             placed = self.master.broadcast_transfer(self.job_id, value.table, missing)
             for worker, remote_table in placed.items():
                 self._broadcasts[(value.table, worker)] = remote_table
+            lost = [worker for worker in missing if worker not in placed]
+            if lost:
+                self._evict(lost, step_id)
+
+    def _evict(self, lost: Sequence[str], step_id: str) -> None:
+        """Drop workers from the remainder of this flow (degrade path)."""
+        lost_set = set(lost)
+        survivors = [worker for worker in self.workers if worker not in lost_set]
+        if not survivors:
+            raise QuorumError(
+                f"step {step_id}: every participating worker was lost"
+            )
+        for worker in lost_set:
+            self.worker_datasets.pop(worker, None)
+            self.evicted[worker] = step_id
+        self.workers = survivors
 
     def _broadcast(self, handle: GlobalHandle, worker: str, step_id: str) -> str:
         key = (handle.table, worker)

@@ -8,6 +8,7 @@ from typing import Mapping
 from repro.engine.table import Table
 from repro.errors import FederationError
 from repro.federation.master import Master
+from repro.federation.policy import FailurePolicy
 from repro.federation.transport import Transport
 from repro.federation.worker import DEFAULT_PRIVACY_THRESHOLD, Worker
 from repro.smpc.cluster import SMPCCluster
@@ -29,6 +30,9 @@ class FederationConfig:
     parallelism: int | None = None
     #: Actually sleep each message's modeled latency (scaling benchmarks).
     sleep_latency: bool = False
+    #: Fault tolerance: retries/deadline/quorum/degrade contract; None means
+    #: the legacy fail-fast behavior (no retries, first loss aborts).
+    failure_policy: FailurePolicy | None = None
 
 
 @dataclass
@@ -66,6 +70,7 @@ def create_federation(
     config = config or FederationConfig()
     if not worker_data:
         raise FederationError("a federation needs at least one worker")
+    policy = config.failure_policy or FailurePolicy()
     transport = Transport(
         latency_seconds=config.latency_seconds,
         bandwidth_bytes_per_second=config.bandwidth_bytes_per_second,
@@ -73,6 +78,7 @@ def create_federation(
         seed=config.seed,
         max_workers=config.parallelism,
         sleep_latency=config.sleep_latency,
+        retry=policy.retry_policy(),
     )
     workers: dict[str, Worker] = {}
     for worker_id, models in worker_data.items():
@@ -86,6 +92,6 @@ def create_federation(
         if config.smpc_nodes
         else None
     )
-    master = Master(transport, list(workers), smpc_cluster=smpc)
+    master = Master(transport, list(workers), smpc_cluster=smpc, failure_policy=policy)
     master.refresh_catalog()
     return Federation(transport, master, workers, smpc, config)

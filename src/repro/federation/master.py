@@ -11,6 +11,16 @@ dispatch (:meth:`Transport.send_many` / :meth:`Transport.broadcast`), the
 in-process stand-in for the production platform's task queue: local steps,
 catalog refreshes, transfer prefetches, secure-share fetches and broadcasts
 all overlap across workers instead of accumulating serially.
+
+Worker loss is governed by a :class:`~repro.federation.policy.FailurePolicy`:
+under ``on_worker_loss="fail"`` (the default) the first unreachable worker
+aborts the flow, exactly the legacy behavior; under ``"degrade"`` each
+fan-out drops the lost workers from its result and continues with the
+surviving quorum (``min_workers``), raising
+:class:`~repro.errors.QuorumError` when too few remain.  A
+:class:`~repro.federation.policy.WorkerHealth` circuit breaker tracks
+consecutive failures per worker and re-admits a worker the moment it answers
+again (e.g. a later catalog ping).
 """
 
 from __future__ import annotations
@@ -20,9 +30,15 @@ import threading
 from typing import Any, Mapping, Sequence
 
 from repro.engine.database import Database
-from repro.errors import DatasetUnavailableError, FederationError, NodeUnavailableError
+from repro.errors import (
+    DatasetUnavailableError,
+    FederationError,
+    NodeUnavailableError,
+    QuorumError,
+)
+from repro.federation.policy import FailurePolicy, WorkerHealth
 from repro.federation.serialization import table_from_payload
-from repro.federation.transport import Transport
+from repro.federation.transport import BroadcastResult, Transport
 from repro.smpc.cluster import NoiseSpec, SMPCCluster
 from repro.udfgen.decorators import udf_registry
 from repro.udfgen.generator import generate_udf_application, run_udf_application
@@ -39,11 +55,14 @@ class Master:
         transport: Transport,
         worker_ids: Sequence[str],
         smpc_cluster: SMPCCluster | None = None,
+        failure_policy: FailurePolicy | None = None,
     ) -> None:
         self.node_id = MASTER_ID
         self.transport = transport
         self.worker_ids = list(worker_ids)
         self.smpc_cluster = smpc_cluster
+        self.policy = failure_policy or FailurePolicy()
+        self.health = WorkerHealth(self.policy.failure_threshold)
         self.database = Database(name=MASTER_ID)
         self.database.set_remote_resolver(self._resolve_remote)
         self._availability: dict[str, dict[str, list[str]]] = {}
@@ -68,6 +87,7 @@ class Master:
         responses = self.transport.broadcast(
             self.node_id, self.worker_ids, "list_datasets", on_error="skip"
         )
+        self._note_broadcast_health(responses)
         availability: dict[str, dict[str, list[str]]] = {}
         for worker in self.worker_ids:
             response = responses.get(worker)
@@ -108,10 +128,68 @@ class Master:
         return chosen
 
     def alive_workers(self) -> list[str]:
+        """Workers answering a ping right now.
+
+        Pings go to *every* registered worker, including quarantined ones:
+        an answer re-admits a worker through the circuit breaker (recovery),
+        a miss extends its quarantine.
+        """
         responses = self.transport.broadcast(
             self.node_id, self.worker_ids, "ping", on_error="skip"
         )
+        self._note_broadcast_health(responses)
         return [worker for worker in self.worker_ids if worker in responses]
+
+    def _note_broadcast_health(self, responses: BroadcastResult) -> None:
+        """Feed one skip-broadcast's outcome into the circuit breaker."""
+        for worker in self.worker_ids:
+            if worker in responses:
+                self.health.record_success(worker)
+            elif worker in getattr(responses, "failed", {}):
+                self.health.record_failure(worker)
+
+    # ------------------------------------------------------- policy dispatch
+
+    def _fan_out(
+        self,
+        sender: str,
+        requests: Sequence[tuple[str, str, dict[str, Any] | None]],
+        what: str,
+    ) -> tuple[dict[str, dict[str, Any]], dict[str, FederationError]]:
+        """One policy-governed fan-out to workers.
+
+        Returns ``(responses, lost)`` keyed by worker (request order).  Under
+        ``on_worker_loss="fail"`` any unavailable worker re-raises its error;
+        under ``"degrade"`` lost workers are evicted from the result and the
+        surviving set is checked against the ``min_workers`` quorum.
+        Permanent errors (handler exceptions, validation failures) always
+        propagate — degrading only ever swallows unavailability.
+        """
+        workers = [request[0] for request in requests]
+        results = self.transport.send_many(sender, requests, on_error="return")
+        responses: dict[str, dict[str, Any]] = {}
+        lost: dict[str, FederationError] = {}
+        for worker, result in zip(workers, results):
+            if isinstance(result, NodeUnavailableError):
+                lost[worker] = result
+            elif isinstance(result, BaseException):
+                raise result
+            else:
+                responses[worker] = result
+        for worker in responses:
+            self.health.record_success(worker)
+        for worker in lost:
+            self.health.record_failure(worker)
+        if lost:
+            first = next(iter(lost.values()))
+            if not self.policy.degrade:
+                raise first
+            if len(responses) < self.policy.min_workers:
+                raise QuorumError(
+                    f"{what}: only {len(responses)} of {len(workers)} workers "
+                    f"reachable; quorum requires {self.policy.min_workers}"
+                ) from first
+        return responses, lost
 
     # ------------------------------------------------------------ local steps
 
@@ -124,10 +202,13 @@ class Master:
         """Run one local computation on each named worker, concurrently.
 
         ``per_worker_arguments`` maps worker id to that worker's argument
-        specs.  Returns {worker: [{"table":..., "kind":...}, ...]}.
+        specs.  Returns {worker: [{"table":..., "kind":...}, ...]}.  Under a
+        degrading failure policy, workers lost mid-step are simply absent
+        from the result (the caller evicts them from the flow); a quorum
+        violation raises :class:`~repro.errors.QuorumError`.
         """
         workers = list(per_worker_arguments)
-        responses = self.transport.send_many(
+        responses, _lost = self._fan_out(
             self.node_id,
             [
                 (
@@ -141,9 +222,10 @@ class Master:
                 )
                 for worker in workers
             ],
+            what=f"local step {udf_name!r}",
         )
         return {
-            worker: response["outputs"] for worker, response in zip(workers, responses)
+            worker: responses[worker]["outputs"] for worker in workers if worker in responses
         }
 
     # ------------------------------------------------------ aggregation paths
@@ -158,12 +240,18 @@ class Master:
         through the remote resolver at query time.  The transfers themselves
         are prefetched with one concurrent fan-out, so the query-time
         resolver hits the prefetch instead of issuing serial round trips.
+
+        Under a degrading failure policy, workers lost between their local
+        step and this gather are skipped (quorum permitting): the merge
+        covers surviving transfers only.
         """
         with self._counter_lock:
             self._remote_counter += 1
             counter = self._remote_counter
         ordered = sorted(worker_tables.items())
-        self._prefetch_tables(ordered)
+        lost = self._prefetch_tables(ordered)
+        if lost:
+            ordered = [(worker, table) for worker, table in ordered if worker not in lost]
         merge_name = f"merge_{job_id}_{counter}"
         self.database.execute(f"CREATE MERGE TABLE {merge_name} (transfer VARCHAR)")
         for index, (worker, table) in enumerate(ordered):
@@ -175,18 +263,25 @@ class Master:
         merged = self.database.query(f"SELECT * FROM {merge_name}")
         return [json.loads(blob) for blob in merged.column("transfer").to_list()]
 
-    def _prefetch_tables(self, worker_tables: Sequence[tuple[str, str]]) -> None:
-        """Fetch several workers' transfer tables in one parallel fan-out."""
-        responses = self.transport.send_many(
+    def _prefetch_tables(self, worker_tables: Sequence[tuple[str, str]]) -> set[str]:
+        """Fetch several workers' transfer tables in one parallel fan-out.
+
+        Returns the workers lost during the fetch (empty unless the failure
+        policy degrades).
+        """
+        responses, lost = self._fan_out(
             self.node_id,
             [
                 (worker, "fetch_table", {"table": table})
                 for worker, table in worker_tables
             ],
+            what="transfer prefetch",
         )
         with self._prefetch_lock:
-            for (worker, table), response in zip(worker_tables, responses):
-                self._prefetched[f"{worker}/{table}"] = response["table"]
+            for worker, table in worker_tables:
+                if worker in responses:
+                    self._prefetched[f"{worker}/{table}"] = responses[worker]["table"]
+        return set(lost)
 
     def gather_transfers_secure(
         self,
@@ -200,18 +295,36 @@ class Master:
         cluster then imports them in sorted worker order (imports mutate
         protocol state, so they stay sequential and deterministic).
 
+        Under a degrading failure policy a worker lost before its payload
+        was fetched is dropped from the job — its shares never enter the
+        cluster, and the survivors' payloads are freshly secret-shared, so
+        the aggregate is a valid sharing over exactly the surviving quorum.
+        If the cluster already holds a partial contribution for a lost
+        worker (an earlier retried import), it is discarded before
+        aggregation so the result can never mix a dead worker's data in.
+
         Returns the single aggregated transfer dict (key -> aggregated data).
         """
         if self.smpc_cluster is None:
             raise FederationError("no SMPC cluster is configured")
         ordered = sorted(worker_tables.items())
-        responses = self.transport.send_many(
+        responses, lost = self._fan_out(
             SMPC_ID,
             [(worker, "get_secure_payload", {"table": table}) for worker, table in ordered],
+            what="secure-share fetch",
         )
-        for (worker, _table), response in zip(ordered, responses):
-            self.smpc_cluster.import_shares(job_id, worker, response["payload"])
-        aggregated = self.smpc_cluster.aggregate(job_id, noise=noise)
+        for worker in lost:
+            self.smpc_cluster.drop_worker(job_id, worker)
+        for worker, _table in ordered:
+            if worker in responses:
+                self.smpc_cluster.import_shares(
+                    job_id, worker, responses[worker]["payload"]
+                )
+        try:
+            aggregated = self.smpc_cluster.aggregate(job_id, noise=noise)
+        except Exception:
+            self.smpc_cluster.abort_job(job_id)
+            raise
         return {key: value for key, value in aggregated.items()}
 
     # ----------------------------------------------------------- global steps
@@ -252,10 +365,15 @@ class Master:
         return json.loads(blob)
 
     def broadcast_transfer(self, job_id: str, table: str, workers: Sequence[str]) -> dict[str, str]:
-        """Ship a global transfer to workers for the next local iteration."""
+        """Ship a global transfer to workers for the next local iteration.
+
+        Returns {worker: placed table}; under a degrading failure policy,
+        workers lost during the broadcast are absent from the result so the
+        caller can evict them from the flow.
+        """
         blob = self.database.scalar(f"SELECT * FROM {table}")
         placed = {worker: f"bcast_{table}_{worker}" for worker in workers}
-        self.transport.send_many(
+        responses, _lost = self._fan_out(
             self.node_id,
             [
                 (
@@ -265,8 +383,9 @@ class Master:
                 )
                 for worker in workers
             ],
+            what="global-transfer broadcast",
         )
-        return placed
+        return {worker: placed[worker] for worker in workers if worker in responses}
 
     # ---------------------------------------------------------------- cleanup
 

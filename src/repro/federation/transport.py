@@ -8,7 +8,15 @@ where it matters for the reproduction:
 - a latency model accumulates *simulated* wall time (per-message latency plus
   bytes over bandwidth), so benchmarks can report modeled network cost,
 - failure injection: nodes can be marked down, or links given a drop
-  probability, raising :class:`NodeUnavailableError` like a timeout would.
+  probability, raising :class:`NodeUnavailableError` like a timeout would,
+- fault tolerance: a :class:`~repro.federation.policy.RetryPolicy` retries
+  transient failures with exponential backoff + jitter and enforces a
+  per-message deadline over the *simulated* clock.  Drop decisions and
+  jitter units for every attempt are pre-drawn from the seeded RNG in
+  request order before dispatch, so a seed fully determines which attempts
+  fail, how many retries happen, and what the flow ultimately sees — at any
+  fan-out width.  A message is dropped before delivery (a lost request),
+  so a retry never re-executes a handler that already ran.
 
 The production platform dispatches tasks to workers through a concurrent
 task queue, so the master's fan-outs overlap.  :meth:`Transport.send_many`
@@ -32,8 +40,14 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.errors import FederationError, NodeUnavailableError
+from repro.errors import (
+    FederationError,
+    FederationTimeoutError,
+    NodeUnavailableError,
+    is_transient,
+)
 from repro.federation.messages import Message
+from repro.federation.policy import RetryPolicy
 
 Handler = Callable[[Message], dict[str, Any]]
 
@@ -59,11 +73,52 @@ class TransportStats:
     messages: int = 0
     bytes_sent: int = 0
     simulated_seconds: float = 0.0
+    retries: int = 0
+    failed_sends: int = 0
 
     def reset(self) -> None:
         self.messages = 0
         self.bytes_sent = 0
         self.simulated_seconds = 0.0
+        self.retries = 0
+        self.failed_sends = 0
+
+
+class FanoutResult(list):
+    """``send_many(on_error="skip")`` result: successes in request order.
+
+    ``failed`` maps each skipped receiver to the error that exhausted it, so
+    callers can evict exactly the nodes that were lost.
+    """
+
+    def __init__(self, results: Sequence[Any], failed: "dict[str, FederationError]") -> None:
+        super().__init__(results)
+        self.failed = failed
+
+
+class BroadcastResult(dict):
+    """``broadcast`` responses keyed by receiver, plus the skipped failures.
+
+    A plain dict (existing callers are unaffected) with a ``failed`` mapping
+    of receiver -> error for receivers dropped by ``on_error="skip"``.
+    """
+
+    def __init__(
+        self,
+        responses: "dict[str, dict[str, Any]]",
+        failed: "dict[str, FederationError] | None" = None,
+    ) -> None:
+        super().__init__(responses)
+        self.failed = failed or {}
+
+
+@dataclass(frozen=True)
+class _Schedule:
+    """Pre-drawn randomness for one logical send: one drop decision per
+    attempt plus one jitter unit per potential backoff."""
+
+    drops: tuple[bool, ...]
+    jitters: tuple[float, ...]
 
 
 def _resolve_parallelism(explicit: int | None, n_nodes: int) -> int:
@@ -92,6 +147,7 @@ class Transport:
         seed: int | None = None,
         max_workers: int | None = None,
         sleep_latency: bool = False,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if not 0 <= drop_probability <= 1:
             raise FederationError("drop probability must be in [0, 1]")
@@ -101,6 +157,8 @@ class Transport:
         self.bandwidth = bandwidth_bytes_per_second
         self.drop_probability = drop_probability
         self.max_workers = max_workers
+        #: Per-send retry/backoff/deadline policy; the default retries never.
+        self.retry = retry or RetryPolicy()
         #: When True the modeled elapsed time of every message is actually
         #: slept, so wall-clock behavior matches a deployment where workers
         #: are separate machines (used by the scaling benchmarks).
@@ -134,7 +192,11 @@ class Transport:
         """A consistent copy of the aggregate counters."""
         with self._stats_lock:
             return TransportStats(
-                self.stats.messages, self.stats.bytes_sent, self.stats.simulated_seconds
+                self.stats.messages,
+                self.stats.bytes_sent,
+                self.stats.simulated_seconds,
+                self.stats.retries,
+                self.stats.failed_sends,
             )
 
     # ------------------------------------------------------ failure injection
@@ -152,11 +214,15 @@ class Transport:
     # ---------------------------------------------------------------- sending
 
     def send(self, sender: str, receiver: str, kind: str, payload: dict[str, Any] | None = None) -> dict[str, Any]:
-        """Deliver one message and return the handler's response payload."""
-        response, elapsed = self._send_one(sender, receiver, kind, payload, self._draw_drop())
+        """Deliver one message (with retries) and return the response payload."""
+        outcome, elapsed = self._run_schedule(
+            sender, receiver, kind, payload, self._draw_schedule()
+        )
         with self._stats_lock:
             self.stats.simulated_seconds += elapsed
-        return response
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
 
     def send_many(
         self,
@@ -170,28 +236,30 @@ class Transport:
         (a failing destination never aborts or deadlocks the rest):
 
         - ``"raise"``: re-raise the first error in *request* order,
-        - ``"return"``: the result slot holds the exception instead.
+        - ``"return"``: the result slot holds the exception instead,
+        - ``"skip"``: drop unavailable receivers from the result; the
+          returned :class:`FanoutResult` records them in ``.failed`` so
+          callers can evict exactly the nodes that were lost.  Errors other
+          than unavailability still raise.
 
-        Drop-probability decisions are drawn from the seeded RNG in request
-        order *before* dispatch, so failure injection stays deterministic
-        regardless of thread scheduling.  The simulated clock charges
-        ``max()`` over the group (the sends overlap); with an effective
-        parallelism of 1 dispatch is sequential and the clock sums, exactly
-        like today's per-destination loops.
+        Drop-probability decisions and backoff jitter are drawn from the
+        seeded RNG in request order *before* dispatch, so failure injection
+        and retries stay deterministic regardless of thread scheduling.  The
+        simulated clock charges ``max()`` over the group (the sends overlap,
+        including their backoff waits); with an effective parallelism of 1
+        dispatch is sequential and the clock sums, exactly like
+        per-destination loops.
         """
-        if on_error not in ("raise", "return"):
+        if on_error not in ("raise", "return", "skip"):
             raise FederationError(f"unknown on_error policy {on_error!r}")
         if not requests:
-            return []
-        drops = [self._draw_drop() for _ in requests]
+            return FanoutResult([], {}) if on_error == "skip" else []
+        schedules = [self._draw_schedule() for _ in requests]
         width = min(self.parallelism, len(requests))
 
         def attempt(index: int) -> tuple[Any, float]:
             receiver, kind, payload = requests[index]
-            try:
-                return self._send_one(sender, receiver, kind, payload, drops[index])
-            except Exception as exc:  # noqa: BLE001 - propagated per policy
-                return exc, 0.0
+            return self._run_schedule(sender, receiver, kind, payload, schedules[index])
 
         if width <= 1:
             outcomes = [attempt(i) for i in range(len(requests))]
@@ -207,6 +275,17 @@ class Transport:
             for result in results:
                 if isinstance(result, BaseException):
                     raise result
+        elif on_error == "skip":
+            kept: list[Any] = []
+            failed: dict[str, FederationError] = {}
+            for (receiver, _kind, _payload), result in zip(requests, results):
+                if isinstance(result, NodeUnavailableError):
+                    failed[receiver] = result
+                elif isinstance(result, BaseException):
+                    raise result
+                else:
+                    kept.append(result)
+            return FanoutResult(kept, failed)
         return results
 
     def broadcast(
@@ -216,11 +295,12 @@ class Transport:
         kind: str,
         payload: dict[str, Any] | None = None,
         on_error: str = "raise",
-    ) -> dict[str, dict[str, Any]]:
+    ) -> BroadcastResult:
         """Send one message to many receivers; returns {receiver: response}.
 
         ``on_error="skip"`` drops unreachable receivers from the result (the
-        catalog-refresh / cleanup policy); other policies as in
+        catalog-refresh / cleanup policy) and records them in the returned
+        :class:`BroadcastResult`'s ``.failed`` mapping; other policies as in
         :meth:`send_many`.
         """
         skip = on_error == "skip"
@@ -230,21 +310,101 @@ class Transport:
             on_error="return" if skip else on_error,
         )
         responses: dict[str, dict[str, Any]] = {}
+        failed: dict[str, FederationError] = {}
         for receiver, result in zip(receivers, results):
             if isinstance(result, NodeUnavailableError) and skip:
+                failed[receiver] = result
                 continue
             if isinstance(result, BaseException):
                 raise result
             responses[receiver] = result
-        return responses
+        return BroadcastResult(responses, failed)
 
     # -------------------------------------------------------------- internals
 
-    def _draw_drop(self) -> bool:
-        if not self.drop_probability:
-            return False
+    def _draw_schedule(self) -> _Schedule:
+        """Pre-draw one send's randomness (drops + jitter) in request order.
+
+        With the default policy (one attempt) and a lossless link this
+        consumes no RNG state at all; with ``drop_probability`` set it
+        consumes exactly one draw per attempt, keeping legacy seeds stable
+        for single-attempt transports.
+        """
+        attempts = self.retry.max_attempts
+        if not self.drop_probability and attempts == 1:
+            return _Schedule((False,), ())
         with self._rng_lock:
-            return self._rng.random() < self.drop_probability
+            if self.drop_probability:
+                drops = tuple(
+                    self._rng.random() < self.drop_probability for _ in range(attempts)
+                )
+            else:
+                drops = (False,) * attempts
+            if attempts > 1 and self.retry.jitter > 0:
+                jitters = tuple(self._rng.random() for _ in range(attempts - 1))
+            else:
+                jitters = (0.5,) * (attempts - 1)
+        return _Schedule(drops, jitters)
+
+    def _run_schedule(
+        self,
+        sender: str,
+        receiver: str,
+        kind: str,
+        payload: dict[str, Any] | None,
+        schedule: _Schedule,
+    ) -> tuple[Any, float]:
+        """One logical send: attempts + backoff under the retry policy.
+
+        Returns ``(response | exception, simulated seconds)``; never raises,
+        so group dispatch can account the elapsed time of failures too.
+        Transient errors are retried until the schedule or the deadline runs
+        out; permanent errors (handler exceptions, unknown nodes) surface
+        immediately.
+        """
+        policy = self.retry
+        deadline = policy.deadline_seconds
+        total = 0.0
+        for attempt, dropped in enumerate(schedule.drops):
+            try:
+                response, elapsed = self._send_one(sender, receiver, kind, payload, dropped)
+            except Exception as exc:  # noqa: BLE001 - classified below
+                if not is_transient(exc):
+                    self._record_failed_send()
+                    return exc, total
+                # A failed attempt still costs its timeout detection.
+                total += self.latency_seconds
+                final = attempt + 1 == len(schedule.drops)
+                if final:
+                    self._record_failed_send()
+                    return exc, total
+                delay = policy.backoff_delay(attempt, schedule.jitters[attempt])
+                if deadline is not None and total + delay >= deadline:
+                    self._record_failed_send()
+                    timeout = FederationTimeoutError(
+                        f"send {kind!r} to {receiver!r} exceeded its {deadline}s "
+                        f"deadline after {attempt + 1} attempts"
+                    )
+                    timeout.__cause__ = exc
+                    return timeout, total
+                total += delay
+                with self._stats_lock:
+                    self.stats.retries += 1
+                continue
+            total += elapsed
+            if deadline is not None and total > deadline:
+                self._record_failed_send()
+                timeout = FederationTimeoutError(
+                    f"response for {kind!r} from {receiver!r} arrived after "
+                    f"the {deadline}s deadline"
+                )
+                return timeout, total
+            return response, total
+        raise AssertionError("unreachable: schedule always resolves")
+
+    def _record_failed_send(self) -> None:
+        with self._stats_lock:
+            self.stats.failed_sends += 1
 
     def _ensure_executor(self) -> ThreadPoolExecutor:
         with self._executor_lock:

@@ -190,11 +190,22 @@ class Worker:
         return {"transfer": blob}
 
     def _handle_put_transfer(self, payload: dict[str, Any]) -> dict[str, Any]:
-        """Receive a broadcast global transfer (model parameters and the like)."""
+        """Receive a broadcast global transfer (model parameters and the like).
+
+        Idempotent under at-least-once delivery: a replay carrying the same
+        table name and the same blob (a master retrying a broadcast whose
+        acknowledgement was lost) is acknowledged without re-writing; a
+        *different* blob under an existing name is still an error.
+        """
         job_id = payload["job_id"]
         table = payload["table"]
         blob = payload["blob"]
         if self.database.has_table(table):
+            record = self._outputs.get(table)
+            if record is not None and record.kind == "transfer":
+                existing = self.database.scalar(f"SELECT * FROM {table}")
+                if existing == str(blob):
+                    return {"table": table, "duplicate": True}
             raise FederationError(f"worker {self.node_id!r}: table {table!r} already exists")
         self.database.execute(f"CREATE TABLE {table} (transfer VARCHAR)")
         escaped = str(blob).replace("'", "''")

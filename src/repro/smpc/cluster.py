@@ -102,6 +102,24 @@ class SMPCCluster:
     def has_job(self, job_id: str) -> bool:
         return job_id in self._jobs or job_id in self._results
 
+    def drop_worker(self, job_id: str, worker_id: str) -> bool:
+        """Discard a (dead) worker's contribution before aggregation.
+
+        The survivor re-split path: when the federation evicts a worker
+        mid-flow, its imported payload must not poison the aggregate.  The
+        surviving workers' payloads are freshly secret-shared at
+        :meth:`aggregate` time, so dropping a contribution re-splits the job
+        over exactly the survivors.  Returns True if anything was removed.
+        """
+        job = self._jobs.get(job_id)
+        if job is None:
+            return False
+        return job.payloads.pop(worker_id, None) is not None
+
+    def abort_job(self, job_id: str) -> bool:
+        """Forget a pending job (a failed flow cleaning up after itself)."""
+        return self._jobs.pop(job_id, None) is not None
+
     # ------------------------------------------------------------ aggregation
 
     def aggregate(self, job_id: str, noise: NoiseSpec | None = None) -> dict[str, Any]:

@@ -1,0 +1,24 @@
+"""Chaos-suite configuration: one seed controls every drop schedule.
+
+The seed comes from ``CHAOS_SEED`` (CI runs three fixed seeds plus one
+randomized seed per build); it defaults to 101 locally.  The seed is printed
+so a red randomized run can be reproduced exactly with
+``CHAOS_SEED=<seed> pytest tests/chaos``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+DEFAULT_CHAOS_SEED = 101
+
+
+@pytest.fixture(scope="session")
+def chaos_seed(request) -> int:
+    seed = int(os.environ.get("CHAOS_SEED", DEFAULT_CHAOS_SEED))
+    capmanager = request.config.pluginmanager.getplugin("capturemanager")
+    with capmanager.global_and_fixture_disabled():
+        print(f"\n[chaos] CHAOS_SEED={seed}")
+    return seed

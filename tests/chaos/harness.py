@@ -1,0 +1,165 @@
+"""Shared machinery for the chaos suite.
+
+Builds lossy federations (seeded drop schedules + failure policies), runs
+algorithms through the regular experiment engine, and classifies outcomes
+against the suite's contract: a chaos run must either *succeed with a result
+matching the clean oracle* or *fail with a typed FederationError subclass* —
+never hang, and never return a silently wrong aggregate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import pytest
+
+from repro import errors as error_module
+from repro.core.context import ExecutionContext
+from repro.core.experiment import ExperimentEngine, ExperimentRequest
+from repro.core.registry import algorithm_registry
+from repro.core.specs import validate_parameters
+from repro.data.cdes import cde_registry
+from repro.data.cohorts import CohortSpec, generate_cohort
+from repro.federation.controller import Federation, FederationConfig, create_federation
+from repro.federation.policy import FailurePolicy
+
+import repro.algorithms  # noqa: F401  (register algorithms once)
+
+
+def federation_error_names() -> frozenset[str]:
+    """Names of every FederationError subclass (the allowed typed failures)."""
+    names: set[str] = set()
+    stack = [error_module.FederationError]
+    while stack:
+        cls = stack.pop()
+        names.add(cls.__name__)
+        stack.extend(cls.__subclasses__())
+    return frozenset(names)
+
+
+TYPED_FAILURES = federation_error_names()
+
+
+def chaos_worker_data(rows: int = 120) -> dict[str, dict[str, Any]]:
+    """Three hospitals, one dataset each (small, for many chaos runs)."""
+    return {
+        "hospital_a": {"dementia": generate_cohort(CohortSpec("edsd", rows, seed=11))},
+        "hospital_b": {"dementia": generate_cohort(CohortSpec("adni", rows, seed=22))},
+        "hospital_c": {"dementia": generate_cohort(CohortSpec("ppmi", rows, seed=33))},
+    }
+
+
+def build_chaos_federation(
+    worker_data: Mapping[str, Mapping[str, Any]],
+    *,
+    drop_probability: float,
+    seed: int,
+    policy: FailurePolicy,
+    parallelism: int | None = None,
+) -> Federation:
+    return create_federation(
+        worker_data,
+        FederationConfig(
+            smpc_nodes=3,
+            smpc_scheme="shamir",
+            drop_probability=drop_probability,
+            seed=seed,
+            parallelism=parallelism,
+            failure_policy=policy,
+        ),
+    )
+
+
+def run_experiment(
+    federation: Federation,
+    algorithm: str,
+    y=(),
+    x=(),
+    parameters: Mapping[str, Any] | None = None,
+    datasets=("edsd", "adni", "ppmi"),
+    aggregation: str = "plain",
+):
+    engine = ExperimentEngine(federation, aggregation=aggregation)
+    return engine.run(
+        ExperimentRequest(
+            algorithm=algorithm,
+            data_model="dementia",
+            datasets=tuple(datasets),
+            y=tuple(y),
+            x=tuple(x),
+            parameters=dict(parameters or {}),
+        )
+    )
+
+
+def run_algorithm_on_context(
+    federation: Federation,
+    worker_datasets: Mapping[str, list[str]],
+    algorithm: str,
+    y=(),
+    x=(),
+    parameters: Mapping[str, Any] | None = None,
+    aggregation: str = "plain",
+    job_prefix: str | None = None,
+) -> tuple[dict[str, Any], ExecutionContext]:
+    """Drive an algorithm over an explicit worker set, bypassing planning.
+
+    The engine's shipping planner consults the live catalog, which already
+    excludes down workers — so it can never exercise the mid-flow eviction
+    path.  Chaos tests that need a doomed worker *inside* the flow construct
+    the context directly.
+    """
+    algorithm_cls = algorithm_registry.get(algorithm)
+    validated = validate_parameters(algorithm_cls.parameters, dict(parameters or {}))
+    model = cde_registry.get("dementia")
+    metadata = model.metadata_for(list(y) + list(x))
+    context = ExecutionContext(
+        master=federation.master,
+        data_model="dementia",
+        worker_datasets={w: list(d) for w, d in worker_datasets.items()},
+        aggregation=aggregation,
+        job_prefix=job_prefix,
+    )
+    instance = algorithm_cls(
+        context, y=list(y), x=list(x), parameters=validated, metadata=metadata
+    )
+    result = instance.run()
+    context.cleanup()
+    return result, context
+
+
+def classify_outcome(result, oracle: Mapping[str, Any] | None = None) -> str:
+    """Enforce the chaos contract on one finished experiment.
+
+    Returns ``"success"`` or ``"typed-failure"``.  Anything else — an
+    untyped error, a non-terminal status, or a successful result that
+    disagrees with the oracle — fails the calling test.
+    """
+    status = result.status.value
+    assert status in ("success", "error"), f"non-terminal status {status!r}"
+    if status == "success":
+        if oracle is not None:
+            assert_close(oracle, result.result)
+        return "success"
+    error_name = (result.error or "").split(":", 1)[0]
+    assert error_name in TYPED_FAILURES, (
+        f"chaos run failed with untyped error {result.error!r}; "
+        f"expected one of {sorted(TYPED_FAILURES)}"
+    )
+    return "typed-failure"
+
+
+def assert_close(a, b, path="result"):
+    """Recursive approximate equality over result dicts."""
+    if isinstance(a, dict):
+        assert set(a) == set(b), f"{path}: keys differ ({set(a) ^ set(b)})"
+        for key in a:
+            assert_close(a[key], b[key], f"{path}.{key}")
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b), f"{path}: length differs"
+        for index, (x, y) in enumerate(zip(a, b)):
+            assert_close(x, y, f"{path}[{index}]")
+    elif isinstance(a, float):
+        assert b == pytest.approx(a, rel=1e-5, abs=1e-4), f"{path}: {a} != {b}"
+    else:
+        assert a == b, f"{path}: {a} != {b}"

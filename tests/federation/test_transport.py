@@ -293,3 +293,131 @@ class TestParallelismKnob:
         assert seq.send_many("w0", requests) == par.send_many("w0", requests)
         assert seq.snapshot().messages == par.snapshot().messages
         assert seq.snapshot().bytes_sent == par.snapshot().bytes_sent
+
+
+class TestSendManySkipReportsFailures:
+    def test_skip_returns_which_receivers_failed(self):
+        # Regression: on_error="skip" used to lose the failed receivers, so
+        # callers could not evict the dead nodes.
+        t = make_transport(5)
+        t.set_down("w2")
+        t.set_down("w4")
+        results = t.send_many(
+            "w0",
+            [(f"w{i}", "ping", {"i": i}) for i in range(1, 5)],
+            on_error="skip",
+        )
+        assert [r["echo"]["i"] for r in results] == [1, 3]
+        assert sorted(results.failed) == ["w2", "w4"]
+        assert all(
+            isinstance(exc, NodeUnavailableError) for exc in results.failed.values()
+        )
+
+    def test_skip_failures_counted_in_stats(self):
+        t = make_transport(3)
+        t.set_down("w1")
+        t.send_many("w0", [("w1", "ping", None), ("w2", "ping", None)], on_error="skip")
+        assert t.snapshot().failed_sends == 1
+
+    def test_broadcast_skip_reports_failed_receivers(self):
+        t = make_transport(4)
+        t.set_down("w2")
+        responses = t.broadcast("w0", ["w1", "w2", "w3"], "ping", on_error="skip")
+        assert sorted(responses) == ["w1", "w3"]
+        assert list(responses.failed) == ["w2"]
+
+    def test_skip_still_raises_permanent_errors(self):
+        t = make_transport(2)
+
+        def angry(message):
+            raise ValueError("handler exploded")
+
+        t.register("angry", angry)
+        with pytest.raises(ValueError, match="handler exploded"):
+            t.send_many("w0", [("w1", "ping", None), ("angry", "ping", None)], on_error="skip")
+
+    def test_skip_empty_requests(self):
+        t = make_transport(2)
+        result = t.send_many("w0", [], on_error="skip")
+        assert result == [] and result.failed == {}
+
+
+class TestRetries:
+    def test_retry_recovers_from_transient_drops(self):
+        from repro.federation.policy import RetryPolicy
+
+        t = make_transport(
+            4, drop_probability=0.5, seed=42, retry=RetryPolicy(max_attempts=6)
+        )
+        results = t.send_many(
+            "w0", [(f"w{i}", "ping", {"i": i}) for i in range(1, 4)] * 5
+        )
+        assert len(results) == 15  # every send eventually delivered
+        assert t.snapshot().retries > 0
+        assert t.snapshot().failed_sends == 0
+
+    def test_down_node_exhausts_retries(self):
+        from repro.federation.policy import RetryPolicy
+
+        t = make_transport(3, retry=RetryPolicy(max_attempts=3))
+        t.set_down("w1")
+        with pytest.raises(NodeUnavailableError):
+            t.send("w0", "w1", "ping")
+        snapshot = t.snapshot()
+        assert snapshot.retries == 2  # two re-attempts after the first try
+        assert snapshot.failed_sends == 1
+
+    def test_permanent_errors_are_not_retried(self):
+        from repro.federation.policy import RetryPolicy
+
+        t = make_transport(2, retry=RetryPolicy(max_attempts=5))
+        with pytest.raises(FederationError, match="unknown node"):
+            t.send("w0", "ghost", "ping")
+        assert t.snapshot().retries == 0
+
+    def test_deadline_raises_timeout(self):
+        from repro.errors import FederationTimeoutError
+        from repro.federation.policy import RetryPolicy
+
+        t = make_transport(
+            2,
+            retry=RetryPolicy(
+                max_attempts=10, base_delay_seconds=0.2, deadline_seconds=0.5
+            ),
+        )
+        t.set_down("w1")
+        with pytest.raises(FederationTimeoutError, match="deadline"):
+            t.send("w0", "w1", "ping")
+
+    def test_timeout_is_unavailability_but_not_transient(self):
+        from repro.errors import FederationTimeoutError, is_transient
+
+        timeout = FederationTimeoutError("too slow")
+        assert isinstance(timeout, NodeUnavailableError)
+        assert not is_transient(timeout)
+        assert is_transient(NodeUnavailableError("down"))
+        assert not is_transient(ValueError("bug"))
+
+    def test_backoff_delays_charge_the_simulated_clock(self):
+        from repro.federation.policy import RetryPolicy
+
+        t = make_transport(
+            2,
+            latency_seconds=0.001,
+            retry=RetryPolicy(max_attempts=3, base_delay_seconds=0.1, jitter=0.0),
+        )
+        t.set_down("w1")
+        with pytest.raises(NodeUnavailableError):
+            t.send("w0", "w1", "ping")
+        # 3 failed attempts x latency + backoffs of 0.1 and 0.2 seconds.
+        assert t.snapshot().simulated_seconds == pytest.approx(0.003 + 0.1 + 0.2)
+
+    def test_retry_policy_validation(self):
+        from repro.federation.policy import RetryPolicy
+
+        with pytest.raises(FederationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(FederationError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(FederationError):
+            RetryPolicy(deadline_seconds=0.0)

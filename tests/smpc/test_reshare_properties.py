@@ -1,0 +1,161 @@
+"""Property-based round-trip tests for the survivor re-split primitives.
+
+Seeded stdlib ``random`` drives many randomized trials per property:
+sharing -> (reshare | resplit) -> reconstruction must round-trip for every
+t-of-n survivor subset, and losing more parties than the threshold allows
+must fail loudly, never silently return garbage.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import SMPCError, ThresholdError
+from repro.smpc import additive, shamir
+from repro.smpc.field import PRIME, FieldVector
+
+N_TRIALS = 25
+
+
+def random_vector(rng, length):
+    return FieldVector([rng.randrange(PRIME) for _ in range(length)])
+
+
+class TestShamirReshare:
+    def test_reconstruct_after_reshare_all_subsets(self):
+        """Any >= t+1 survivor subset reshares to a working new sharing."""
+        rng = random.Random(1001)
+        for _ in range(N_TRIALS):
+            n = rng.randrange(3, 8)
+            t = rng.randrange(1, (n + 1) // 2)
+            secret = random_vector(rng, rng.randrange(1, 5))
+            shared = shamir.share_vector(secret, n, t, rng)
+            for size in range(max(2, t + 1), n + 1):
+                for survivors in itertools.combinations(range(n), size):
+                    fresh = shamir.reshare(shared, survivors, rng)
+                    assert fresh.n_parties == len(survivors)
+                    assert shamir.reconstruct(fresh).elements == secret.elements
+
+    def test_reshared_sharing_keeps_its_own_threshold_guarantee(self):
+        """The new sharing reconstructs from any t'+1 of the new parties."""
+        rng = random.Random(1002)
+        for _ in range(N_TRIALS):
+            secret = random_vector(rng, 3)
+            shared = shamir.share_vector(secret, 7, 2, rng)
+            fresh = shamir.reshare(shared, [0, 2, 3, 5, 6], rng)  # 5 survivors, t'=2
+            for subset in itertools.combinations(range(fresh.n_parties), fresh.threshold + 1):
+                pairs = [(party, fresh.shares[party]) for party in subset]
+                rebuilt = shamir.reconstruct_from_subset(pairs, fresh.threshold)
+                assert rebuilt.elements == secret.elements
+
+    def test_reshare_of_reshare_round_trips(self):
+        """Cascading node loss: survivors of survivors still hold the secret."""
+        rng = random.Random(1003)
+        for _ in range(N_TRIALS):
+            secret = random_vector(rng, 2)
+            shared = shamir.share_vector(secret, 7, 3, rng)
+            once = shamir.reshare(shared, [0, 1, 3, 4, 5, 6], rng)  # lose one
+            twice = shamir.reshare(once, list(range(once.threshold + 1)), rng)
+            assert shamir.reconstruct(twice).elements == secret.elements
+
+    def test_too_few_survivors_raises_threshold_error(self):
+        rng = random.Random(1004)
+        secret = random_vector(rng, 2)
+        shared = shamir.share_vector(secret, 5, 2, rng)
+        with pytest.raises(ThresholdError):
+            shamir.reshare(shared, [0, 1], rng)
+
+    def test_invalid_survivor_sets_rejected(self):
+        rng = random.Random(1005)
+        shared = shamir.share_vector(random_vector(rng, 1), 5, 2, rng)
+        with pytest.raises(SMPCError, match="duplicate"):
+            shamir.reshare(shared, [0, 1, 1, 2], rng)
+        with pytest.raises(SMPCError, match="out of range"):
+            shamir.reshare(shared, [0, 1, 9], rng)
+
+    def test_reshare_randomizes_shares(self):
+        """The fresh sharing must not leak the old shares (new polynomials)."""
+        rng = random.Random(1006)
+        shared = shamir.share_vector(random_vector(rng, 4), 5, 2, rng)
+        fresh = shamir.reshare(shared, [0, 1, 2, 3, 4], rng)
+        assert all(
+            fresh.shares[p].elements != shared.shares[p].elements for p in range(5)
+        )
+
+    def test_linearity_survives_reshare(self):
+        """sum-then-reshare == reshare-then-sum (the aggregation use case)."""
+        rng = random.Random(1007)
+        for _ in range(N_TRIALS):
+            a = random_vector(rng, 3)
+            b = random_vector(rng, 3)
+            shared_a = shamir.share_vector(a, 5, 2, rng)
+            shared_b = shamir.share_vector(b, 5, 2, rng)
+            survivors = [0, 2, 4]
+            total = shamir.add(
+                shamir.reshare(shared_a, survivors, rng, new_threshold=1),
+                shamir.reshare(shared_b, survivors, rng, new_threshold=1),
+            )
+            expected = [(x + y) % PRIME for x, y in zip(a.elements, b.elements)]
+            assert shamir.reconstruct(total).elements == expected
+
+
+class TestAdditiveResplit:
+    def test_reconstruct_after_resplit(self):
+        rng = random.Random(2001)
+        for _ in range(N_TRIALS):
+            n = rng.randrange(2, 7)
+            n_new = rng.randrange(2, 7)
+            alpha, _ = additive.share_alpha(n, rng)
+            secret = random_vector(rng, rng.randrange(1, 5))
+            shared = additive.share_vector(secret, n, alpha, rng)
+            fresh = additive.resplit(shared, n_new, rng)
+            assert fresh.n_parties == n_new
+            assert additive.reconstruct(fresh).elements == secret.elements
+
+    def test_macs_verify_after_resplit(self):
+        """The MAC totals are preserved, so any fresh additive sharing of the
+        same alpha accepts the re-split value."""
+        rng = random.Random(2002)
+        for _ in range(N_TRIALS):
+            alpha, _ = additive.share_alpha(4, rng)
+            secret = random_vector(rng, 3)
+            shared = additive.share_vector(secret, 4, alpha, rng)
+            fresh = additive.resplit(shared, 3, rng)
+            opened = additive.reconstruct(fresh)
+            new_alpha_shares = [rng.randrange(PRIME) for _ in range(2)]
+            new_alpha_shares.append((alpha - sum(new_alpha_shares)) % PRIME)
+            additive.check_macs(fresh, opened, new_alpha_shares)  # must not raise
+
+    def test_tampered_resplit_fails_mac_check(self):
+        rng = random.Random(2003)
+        alpha, alpha_shares = additive.share_alpha(3, rng)
+        shared = additive.share_vector(random_vector(rng, 2), 3, alpha, rng)
+        fresh = additive.resplit(shared, 3, rng)
+        fresh.shares[1].elements[0] = (fresh.shares[1].elements[0] + 1) % PRIME
+        opened = additive.reconstruct(fresh)
+        with pytest.raises(Exception, match="MAC"):
+            additive.check_macs(fresh, opened, alpha_shares)
+
+    def test_resplit_to_single_party_rejected(self):
+        rng = random.Random(2004)
+        alpha, _ = additive.share_alpha(3, rng)
+        shared = additive.share_vector(random_vector(rng, 1), 3, alpha, rng)
+        with pytest.raises(SMPCError):
+            additive.resplit(shared, 1, rng)
+
+    def test_sum_then_resplit_preserves_aggregate(self):
+        """The cluster's survivor path: aggregate of re-split inputs equals
+        the plain sum of the surviving contributions."""
+        rng = random.Random(2005)
+        for _ in range(N_TRIALS):
+            alpha, _ = additive.share_alpha(5, rng)
+            a = random_vector(rng, 3)
+            b = random_vector(rng, 3)
+            total = additive.add(
+                additive.share_vector(a, 5, alpha, rng),
+                additive.share_vector(b, 5, alpha, rng),
+            )
+            fresh = additive.resplit(total, 2, rng)
+            expected = [(x + y) % PRIME for x, y in zip(a.elements, b.elements)]
+            assert additive.reconstruct(fresh).elements == expected
