@@ -31,7 +31,7 @@ from repro.core.experiment import ExperimentEngine, ExperimentRequest
 from repro.data.cohorts import CohortSpec, generate_cohort
 from repro.federation.controller import FederationConfig, create_federation
 
-from benchmarks.conftest import RESULTS_DIR, write_report
+from benchmarks.conftest import RESULTS_DIR, write_metrics_snapshot, write_report
 
 TOTAL_ROWS = 1600
 WORKER_COUNTS = (1, 2, 4, 8)
@@ -199,6 +199,7 @@ def test_report_scaling():
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_e5.json").write_text(json.dumps(payload, indent=2) + "\n")
+    write_metrics_snapshot("e5", federation)
 
     # messages grow with worker count
     assert times[8][2] > times[1][2]
@@ -206,3 +207,111 @@ def test_report_scaling():
     assert times[8][0] < times[1][0] * 4 + 0.5
     # acceptance: concurrent dispatch at 4 workers at least halves wall time
     assert speedups[4] >= 2.0, f"4-worker fan-out speedup {speedups[4]:.2f} < 2.0"
+
+
+# ---- observability overhead -------------------------------------------------
+
+OVERHEAD_WORKERS = 4
+OVERHEAD_ROUNDS = 3
+OVERHEAD_BUDGET = 0.05  # tracing must cost < 5% wall time
+
+
+def _timed_traced_linreg(traced: bool) -> float:
+    """Best-of-N wall time of federated linear regression with the tracer
+    on or off, on a sleep_latency transport (deterministic modeled sleeps
+    dominate, so the measurement isolates instrumentation overhead from
+    scheduling noise)."""
+    from repro.observability.trace import tracer
+
+    was_enabled = tracer.enabled
+    best = float("inf")
+    try:
+        for _ in range(OVERHEAD_ROUNDS):
+            tracer.reset()
+            if traced:
+                tracer.enable()
+            else:
+                tracer.disable()
+            federation = build_federation(
+                OVERHEAD_WORKERS, sleep_latency=True,
+                latency_seconds=SPEEDUP_LATENCY_S,
+            )
+            datasets = tuple(f"site{i}" for i in range(OVERHEAD_WORKERS))
+            engine = ExperimentEngine(federation, aggregation="plain")
+            t0 = time.perf_counter()
+            outcome = engine.run(linreg_request(datasets))
+            elapsed = time.perf_counter() - t0
+            assert outcome.status.value == "success", outcome.error
+            best = min(best, elapsed)
+    finally:
+        if not was_enabled:
+            tracer.disable()
+    return best
+
+
+def test_report_tracing_overhead():
+    """Tracing the full flow must cost under the 5% overhead budget, and the
+    resulting artifacts (Chrome trace, Prometheus metrics) must be complete."""
+    from repro.observability.trace import tracer
+
+    untraced_s = _timed_traced_linreg(traced=False)
+
+    was_enabled = tracer.enabled
+    traced_s = _timed_traced_linreg(traced=True)
+    # _timed_traced_linreg leaves the last traced run in the buffer; export
+    # the artifacts before resetting.
+    federation = build_federation(
+        OVERHEAD_WORKERS, sleep_latency=True, latency_seconds=SPEEDUP_LATENCY_S
+    )
+    tracer.reset()
+    tracer.enable()
+    try:
+        datasets = tuple(f"site{i}" for i in range(OVERHEAD_WORKERS))
+        engine = ExperimentEngine(federation, aggregation="plain")
+        outcome = engine.run(linreg_request(datasets))
+        assert outcome.status.value == "success", outcome.error
+        chrome = tracer.export_chrome()
+    finally:
+        tracer.reset()
+        if not was_enabled:
+            tracer.disable()
+
+    overhead = traced_s / untraced_s - 1.0
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "TRACE_e5_linreg.chrome.json").write_text(
+        json.dumps(chrome, indent=2) + "\n"
+    )
+    (RESULTS_DIR / "METRICS_e5_linreg.prom").write_text(
+        federation.metrics_registry().render_prometheus()
+    )
+    write_metrics_snapshot("e5_linreg", federation)
+    payload = {
+        "benchmark": "obs_overhead",
+        "workers": OVERHEAD_WORKERS,
+        "rounds": OVERHEAD_ROUNDS,
+        "untraced_seconds": round(untraced_s, 4),
+        "traced_seconds": round(traced_s, 4),
+        "overhead_fraction": round(overhead, 4),
+        "budget_fraction": OVERHEAD_BUDGET,
+        "spans_recorded": len(chrome["traceEvents"]),
+    }
+    (RESULTS_DIR / "BENCH_obs_overhead.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    write_report("obs_overhead", [
+        "Observability — tracing overhead on the E5 sleep-latency flow",
+        "",
+        f"{'workers':>8}{'untraced (s)':>14}{'traced (s)':>12}{'overhead':>10}",
+        f"{OVERHEAD_WORKERS:>8}{untraced_s:>14.3f}{traced_s:>12.3f}"
+        f"{overhead:>9.1%}",
+        "",
+        f"spans recorded: {len(chrome['traceEvents'])}",
+    ])
+
+    assert chrome["traceEvents"], "the traced run must record spans"
+    names = {event["name"] for event in chrome["traceEvents"]}
+    assert {"experiment", "transport.send", "udf.execute"} <= names
+    assert overhead < OVERHEAD_BUDGET, (
+        f"tracing overhead {overhead:.1%} exceeds the {OVERHEAD_BUDGET:.0%} budget"
+    )

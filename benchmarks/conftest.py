@@ -27,6 +27,22 @@ def write_report(name: str, lines: list[str]) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
+def write_metrics_snapshot(name: str, federation) -> Path:
+    """Persist the federation's unified metrics next to the bench results.
+
+    Writes ``results/METRICS_<name>.json`` so each ``BENCH_*.json`` ships
+    with the transport/plan-cache/SMPC/audit counters of the run that
+    produced it.
+    """
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"METRICS_{name}.json"
+    snapshot = federation.metrics_registry().snapshot()
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True, default=str) + "\n")
+    return path
+
+
 @pytest.fixture(scope="session")
 def bench_federation():
     """Three hospitals, moderate cohorts; plain transport defaults."""

@@ -18,8 +18,11 @@ from repro.core.algorithm import FederatedAlgorithm
 from repro.core.registry import register_algorithm
 from repro.core.specs import ParameterSpec
 from repro.errors import AlgorithmError
+from repro.observability.log import get_logger
 from repro.udfgen import literal, relation, secure_transfer, transfer, udf
 from repro.udfgen import udf_helpers as _h
+
+logger = get_logger("algorithms.linear_regression")
 
 
 @udf(
@@ -172,6 +175,13 @@ class LinearRegression(FederatedAlgorithm):
         )
         result["variable_names"] = design_names
         result["response"] = response
+        logger.info(
+            "linreg_fit",
+            response=response,
+            covariates=list(self.x),
+            n=result.get("n_observations"),
+            r_squared=result.get("r_squared"),
+        )
         return result
 
     def _design_names(self) -> list[str]:

@@ -18,8 +18,11 @@ from repro.core.algorithm import FederatedAlgorithm
 from repro.core.registry import register_algorithm
 from repro.core.specs import ParameterSpec
 from repro.errors import AlgorithmError
+from repro.observability.log import get_logger
 from repro.udfgen import literal, relation, secure_transfer, transfer, udf
 from repro.udfgen import udf_helpers as _h  # noqa: F401  (UDF bodies use _h)
+
+logger = get_logger("algorithms.logistic_regression")
 
 
 @udf(
@@ -232,6 +235,20 @@ class LogisticRegression(FederatedAlgorithm):
         view = self.data_view(variables)
         fit = driver.fit(view, self.params["max_iterations"], self.params["tolerance"])
         beta = fit["beta"]
+        if fit["converged"]:
+            logger.info(
+                "newton_converged",
+                response=driver.response,
+                iterations=fit["iterations"],
+                log_likelihood=fit["log_likelihood"],
+            )
+        else:
+            logger.warning(
+                "newton_not_converged",
+                response=driver.response,
+                iterations=fit["iterations"],
+                max_iterations=self.params["max_iterations"],
+            )
         try:
             covariance = np.linalg.inv(fit["hessian"])
         except np.linalg.LinAlgError as exc:

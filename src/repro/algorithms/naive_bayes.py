@@ -17,8 +17,11 @@ from repro.core.algorithm import FederatedAlgorithm
 from repro.core.registry import register_algorithm
 from repro.core.specs import ParameterSpec
 from repro.errors import AlgorithmError
+from repro.observability.log import get_logger
 from repro.udfgen import literal, relation, secure_transfer, transfer, udf
 from repro.udfgen import udf_helpers as _h  # noqa: F401  (UDF bodies use _h)
+
+logger = get_logger("algorithms.naive_bayes")
 
 #: Variance floor for Gaussian likelihoods (relative to feature scale).
 VAR_SMOOTHING = 1e-9
@@ -214,7 +217,15 @@ class NaiveBayesTraining(_NaiveBayesBase):
         target, metadata, classes = self._prepare()
         view = self.data_view([target] + list(self.x))
         model = self._fit(target, metadata, classes, view, self.params["alpha"])
-        return {"model": model, "target": target, "n_observations": int(sum(model["class_counts"]))}
+        n_observations = int(sum(model["class_counts"]))
+        logger.info(
+            "naive_bayes_trained",
+            target=target,
+            classes=len(classes),
+            features=list(self.x),
+            n=n_observations,
+        )
+        return {"model": model, "target": target, "n_observations": n_observations}
 
 
 @register_algorithm

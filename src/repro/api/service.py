@@ -131,6 +131,35 @@ class MIPService:
     def experiments(self) -> list[ExperimentResult]:
         return self.engine.history()
 
+    # ---------------------------------------------------------- observability
+
+    def metrics_registry(self):
+        """The federation-wide unified metrics registry (lazily evaluated)."""
+        return self.federation.metrics_registry()
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Every current metric value as one JSON-ready mapping."""
+        return self.metrics_registry().snapshot()
+
+    def render_metrics(self) -> str:
+        """The Prometheus text exposition of the unified registry."""
+        return self.metrics_registry().render_prometheus()
+
+    def audit_events(
+        self, experiment_id: str | None = None, event: str | None = None
+    ) -> list[dict[str, Any]]:
+        """The privacy audit trail, merged across master and workers.
+
+        Without ``experiment_id`` every recorded event is returned; with it,
+        events of that experiment (step job ids are prefixed by the
+        experiment id, so per-step events match too).
+        """
+        from repro.observability.audit import merged_events
+
+        return merged_events(
+            self.federation.audit_logs(), job_id=experiment_id, event=event
+        )
+
     # ----------------------------------------------------------------- status
 
     def status(self) -> dict[str, Any]:

@@ -14,6 +14,9 @@ Examples::
         --param k=3 --param seed=1 --aggregation smpc
     python -m repro run --algorithm linear_regression \\
         -y lefthippocampus -x agevalue --csv site_a=export_a.csv
+    python -m repro trace --algorithm pearson_correlation \\
+        -y lefthippocampus -y righthippocampus --out trace.json
+    python -m repro metrics --algorithm mean -y lefthippocampus
 """
 
 from __future__ import annotations
@@ -46,22 +49,42 @@ def build_parser() -> argparse.ArgumentParser:
     subcommands.add_parser("algorithms", help="list algorithms and their parameters")
 
     run = subcommands.add_parser("run", help="run a federated experiment")
-    run.add_argument("--algorithm", required=True)
-    run.add_argument("--data-model", default="dementia")
-    run.add_argument("--datasets", nargs="*", default=None,
-                     help="dataset codes (default: all available)")
-    run.add_argument("-y", action="append", default=[], metavar="VAR",
-                     help="dependent variable (repeatable)")
-    run.add_argument("-x", action="append", default=[], metavar="VAR",
-                     help="covariate (repeatable)")
-    run.add_argument("--param", action="append", default=[], metavar="NAME=VALUE",
-                     help="algorithm parameter (repeatable)")
-    run.add_argument("--filter", default=None, help="SQL row filter, e.g. \"agevalue > 65\"")
-    run.add_argument("--aggregation", choices=("smpc", "plain"), default="smpc")
-    run.add_argument("--smpc-scheme", choices=("shamir", "full_threshold"),
-                     default="shamir")
+    trace = subcommands.add_parser(
+        "trace", help="run an experiment with tracing on and export the trace"
+    )
+    trace.add_argument("--format", choices=("chrome", "json", "tree"),
+                       default="chrome",
+                       help="chrome trace-event JSON (default), flat span "
+                            "JSON, or a nested span tree")
+    trace.add_argument("--out", default=None, metavar="PATH",
+                       help="write the trace to a file instead of stdout")
+    trace.add_argument("--audit", action="store_true",
+                       help="include the experiment's privacy audit trail")
+    metrics = subcommands.add_parser(
+        "metrics", help="run an experiment and render the unified metrics"
+    )
+    metrics.add_argument("--format", choices=("prometheus", "json"),
+                         default="prometheus")
 
-    for subparser in (run,):
+    for subparser in (run, trace, metrics):
+        subparser.add_argument("--algorithm", required=True)
+        subparser.add_argument("--data-model", default="dementia")
+        subparser.add_argument("--datasets", nargs="*", default=None,
+                               help="dataset codes (default: all available)")
+        subparser.add_argument("-y", action="append", default=[], metavar="VAR",
+                               help="dependent variable (repeatable)")
+        subparser.add_argument("-x", action="append", default=[], metavar="VAR",
+                               help="covariate (repeatable)")
+        subparser.add_argument("--param", action="append", default=[],
+                               metavar="NAME=VALUE",
+                               help="algorithm parameter (repeatable)")
+        subparser.add_argument("--filter", default=None,
+                               help="SQL row filter, e.g. \"agevalue > 65\"")
+        subparser.add_argument("--aggregation", choices=("smpc", "plain"),
+                               default="smpc")
+        subparser.add_argument("--smpc-scheme",
+                               choices=("shamir", "full_threshold"),
+                               default="shamir")
         subparser.add_argument("--csv", action="append", default=[],
                                metavar="WORKER=PATH",
                                help="load a worker's data from a CSV export "
@@ -135,14 +158,13 @@ def command_algorithms(args: argparse.Namespace) -> int:
     return 0
 
 
-def command_run(args: argparse.Namespace) -> int:
-    """`repro run`: execute one experiment; exit 0 on success, 1 on error."""
-    service = build_service(args)
+def _run_one_experiment(args: argparse.Namespace, service: MIPService):
+    """Shared run/trace/metrics path: resolve datasets, run one experiment."""
     datasets = args.datasets
     if not datasets:
         datasets = sorted(service.datasets(args.data_model))
     parameters = dict(parse_parameter(p) for p in args.param)
-    result = service.run_experiment(
+    return service.run_experiment(
         algorithm=args.algorithm,
         data_model=args.data_model,
         datasets=datasets,
@@ -151,6 +173,12 @@ def command_run(args: argparse.Namespace) -> int:
         parameters=parameters,
         filter_sql=args.filter,
     )
+
+
+def command_run(args: argparse.Namespace) -> int:
+    """`repro run`: execute one experiment; exit 0 on success, 1 on error."""
+    service = build_service(args)
+    result = _run_one_experiment(args, service)
     payload = {
         "experiment_id": result.experiment_id,
         "status": result.status.value,
@@ -162,6 +190,54 @@ def command_run(args: argparse.Namespace) -> int:
     else:
         payload["error"] = result.error
     print(json.dumps(payload, indent=2))
+    return 0 if result.status.value == "success" else 1
+
+
+def command_trace(args: argparse.Namespace) -> int:
+    """`repro trace`: run one experiment with tracing on, export the spans."""
+    from repro.observability.trace import tracer
+
+    was_enabled = tracer.enabled
+    tracer.reset()
+    tracer.enable()
+    try:
+        service = build_service(args)
+        result = _run_one_experiment(args, service)
+        if args.format == "chrome":
+            output: Any = tracer.export_chrome()
+            if args.audit:
+                output["otherData"] = {"audit": list(result.audit)}
+        elif args.format == "json":
+            output = {"spans": tracer.export_json()}
+            if args.audit:
+                output["audit"] = list(result.audit)
+        else:
+            output = {"trace": tracer.span_tree()}
+            if args.audit:
+                output["audit"] = list(result.audit)
+        text = json.dumps(output, indent=2, default=str)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.format} trace ({len(tracer.spans())} spans) "
+                  f"to {args.out}", file=sys.stderr)
+        else:
+            print(text)
+        return 0 if result.status.value == "success" else 1
+    finally:
+        if not was_enabled:
+            tracer.disable()
+
+
+def command_metrics(args: argparse.Namespace) -> int:
+    """`repro metrics`: run one experiment, render the unified registry."""
+    service = build_service(args)
+    result = _run_one_experiment(args, service)
+    registry = service.metrics_registry()
+    if args.format == "json":
+        print(registry.render_json())
+    else:
+        print(registry.render_prometheus(), end="")
     return 0 if result.status.value == "success" else 1
 
 
@@ -178,6 +254,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "catalogue": command_catalogue,
         "algorithms": command_algorithms,
         "run": command_run,
+        "trace": command_trace,
+        "metrics": command_metrics,
     }
     try:
         return handlers[args.command](args)

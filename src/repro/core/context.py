@@ -16,6 +16,7 @@ from repro.errors import AlgorithmError, FederationError, QuorumError
 from repro.core.state import GlobalHandle, LocalHandle
 from repro.federation.master import Master
 from repro.federation.messages import new_job_id
+from repro.observability.trace import tracer
 from repro.smpc.cluster import NoiseSpec
 from repro.udfgen.decorators import get_spec
 from repro.udfgen.iotypes import (
@@ -110,20 +111,26 @@ class ExecutionContext:
                 f"{len(spec.outputs)} outputs of {spec.name!r}"
             )
         step_id = f"{self.job_id}_s{next(self._step_counter)}"
-        self._prebroadcast(keyword_args.values(), step_id)
-        per_worker: dict[str, dict[str, Any]] = {}
-        for worker in self.workers:
-            arguments: dict[str, Any] = {}
-            for pname, value in keyword_args.items():
-                arguments[pname] = self._bind_local_argument(spec, pname, value, worker, step_id)
-            per_worker[worker] = arguments
-        results = self.master.run_local_step(step_id, spec.name, per_worker)
-        lost = [worker for worker in self.workers if worker not in results]
-        if lost:
-            # The master's failure policy already enforced the quorum; here
-            # the flow itself degrades: evicted workers leave every later
-            # step and aggregation of this experiment.
-            self._evict(lost, step_id)
+        with tracer.span(
+            "flow.local_step", step=step_id, udf=spec.name, workers=len(self.workers)
+        ) as step_span:
+            self._prebroadcast(keyword_args.values(), step_id)
+            per_worker: dict[str, dict[str, Any]] = {}
+            for worker in self.workers:
+                arguments: dict[str, Any] = {}
+                for pname, value in keyword_args.items():
+                    arguments[pname] = self._bind_local_argument(
+                        spec, pname, value, worker, step_id
+                    )
+                per_worker[worker] = arguments
+            results = self.master.run_local_step(step_id, spec.name, per_worker)
+            lost = [worker for worker in self.workers if worker not in results]
+            if lost:
+                # The master's failure policy already enforced the quorum; here
+                # the flow itself degrades: evicted workers leave every later
+                # step and aggregation of this experiment.
+                step_span.set_attribute("evicted", sorted(lost))
+                self._evict(lost, step_id)
         handles: list[LocalHandle] = []
         for index, iotype in enumerate(spec.outputs):
             tables = {worker: results[worker][index]["table"] for worker in self.workers}
@@ -144,7 +151,12 @@ class ExecutionContext:
         if isinstance(value, DataView):
             if not isinstance(iotype, RelationType):
                 raise AlgorithmError(f"parameter {pname!r}: data views bind to relations only")
-            return {"kind": "view", "query": self.view_query(value, worker)}
+            return {
+                "kind": "view",
+                "query": self.view_query(value, worker),
+                "variables": list(value.variables),
+                "datasets": list(self.worker_datasets[worker]),
+            }
         if isinstance(value, LocalHandle):
             if worker not in value.tables:
                 raise AlgorithmError(
@@ -199,6 +211,12 @@ class ExecutionContext:
             self.worker_datasets.pop(worker, None)
             self.evicted[worker] = step_id
         self.workers = survivors
+        self.master.audit.record(
+            "worker_evicted",
+            job_id=step_id,
+            workers=sorted(lost_set),
+            survivors=len(survivors),
+        )
 
     def _broadcast(self, handle: GlobalHandle, worker: str, step_id: str) -> str:
         key = (handle.table, worker)
@@ -223,10 +241,11 @@ class ExecutionContext:
                 f"{len(spec.outputs)} outputs of {spec.name!r}"
             )
         step_id = f"{self.job_id}_s{next(self._step_counter)}"
-        arguments: dict[str, Any] = {}
-        for pname, value in keyword_args.items():
-            arguments[pname] = self._bind_global_argument(spec, pname, value, step_id)
-        results = self.master.run_global_step(step_id, spec.name, arguments)
+        with tracer.span("flow.global_step", step=step_id, udf=spec.name):
+            arguments: dict[str, Any] = {}
+            for pname, value in keyword_args.items():
+                arguments[pname] = self._bind_global_argument(spec, pname, value, step_id)
+            results = self.master.run_global_step(step_id, spec.name, arguments)
         handles = [
             GlobalHandle(result["kind"], result["table"], bool(flag))
             for result, flag in zip(results, share_to_locals)

@@ -18,6 +18,8 @@ from repro.errors import AlgorithmError, ReproError, SpecificationError
 from repro.federation.controller import Federation
 from repro.federation.messages import new_job_id
 from repro.federation.scheduler import plan_shipping
+from repro.observability.audit import merged_events
+from repro.observability.trace import tracer
 from repro.smpc.cluster import NoiseSpec
 
 
@@ -65,6 +67,9 @@ class ExperimentResult:
     elapsed_seconds: float = 0.0
     workers: tuple[str, ...] = ()
     telemetry: ExperimentTelemetry = field(default_factory=ExperimentTelemetry)
+    #: Privacy audit trail for this experiment, merged across master and
+    #: workers (each entry is an AuditEvent dict; see observability.audit).
+    audit: tuple = ()
 
 
 class ExperimentEngine:
@@ -92,41 +97,62 @@ class ExperimentEngine:
         started = time.perf_counter()
         workers: tuple[str, ...] = ()
         usage_before = self._usage_snapshot()
-        try:
-            algorithm_cls = algorithm_registry.get(request.algorithm)
-            parameters = validate_parameters(algorithm_cls.parameters, request.parameters)
-            self._check_variables(algorithm_cls, request)
-            metadata = self._variable_metadata(algorithm_cls, request)
-            context = self._build_context(request, experiment_id)
-            workers = tuple(context.workers)
-            algorithm = algorithm_cls(
-                context,
-                y=list(request.y),
-                x=list(request.x),
-                parameters=parameters,
-                metadata=metadata,
-            )
-            result_data = algorithm.run()
-            context.cleanup()
-            result = ExperimentResult(
-                experiment_id=experiment_id,
-                request=request,
-                status=ExperimentStatus.SUCCESS,
-                result=result_data,
-                elapsed_seconds=time.perf_counter() - started,
-                workers=workers,
-                telemetry=self._usage_delta(usage_before),
-            )
-        except ReproError as exc:
-            result = ExperimentResult(
-                experiment_id=experiment_id,
-                request=request,
-                status=ExperimentStatus.ERROR,
-                error=f"{type(exc).__name__}: {exc}",
-                elapsed_seconds=time.perf_counter() - started,
-                workers=workers,
-                telemetry=self._usage_delta(usage_before),
-            )
+        master_audit = self.federation.master.audit
+        master_audit.record(
+            "experiment_started",
+            job_id=experiment_id,
+            algorithm=request.algorithm,
+            data_model=request.data_model,
+            datasets=sorted(request.datasets),
+        )
+        with tracer.span(
+            "experiment", experiment=experiment_id, algorithm=request.algorithm
+        ) as root_span:
+            try:
+                algorithm_cls = algorithm_registry.get(request.algorithm)
+                parameters = validate_parameters(algorithm_cls.parameters, request.parameters)
+                self._check_variables(algorithm_cls, request)
+                metadata = self._variable_metadata(algorithm_cls, request)
+                context = self._build_context(request, experiment_id)
+                workers = tuple(context.workers)
+                algorithm = algorithm_cls(
+                    context,
+                    y=list(request.y),
+                    x=list(request.x),
+                    parameters=parameters,
+                    metadata=metadata,
+                )
+                result_data = algorithm.run()
+                context.cleanup()
+                result = ExperimentResult(
+                    experiment_id=experiment_id,
+                    request=request,
+                    status=ExperimentStatus.SUCCESS,
+                    result=result_data,
+                    elapsed_seconds=time.perf_counter() - started,
+                    workers=workers,
+                    telemetry=self._usage_delta(usage_before),
+                )
+            except ReproError as exc:
+                root_span.set_error(f"{type(exc).__name__}: {exc}")
+                result = ExperimentResult(
+                    experiment_id=experiment_id,
+                    request=request,
+                    status=ExperimentStatus.ERROR,
+                    error=f"{type(exc).__name__}: {exc}",
+                    elapsed_seconds=time.perf_counter() - started,
+                    workers=workers,
+                    telemetry=self._usage_delta(usage_before),
+                )
+        master_audit.record(
+            "experiment_finished",
+            job_id=experiment_id,
+            status=result.status.value,
+            elapsed_seconds=round(result.elapsed_seconds, 6),
+        )
+        result.audit = tuple(
+            merged_events(self.federation.audit_logs(), job_id=experiment_id)
+        )
         self._history[experiment_id] = result
         return result
 

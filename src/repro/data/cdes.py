@@ -14,6 +14,9 @@ from typing import Any, Mapping, Sequence
 
 from repro.engine.types import SQLType
 from repro.errors import CatalogError, SpecificationError
+from repro.observability.log import get_logger
+
+logger = get_logger("data.cdes")
 
 
 @dataclass(frozen=True)
@@ -136,6 +139,13 @@ class DataModel:
         for code in codes:
             cde = self.cde(code)
             if cde.kind not in kinds:
+                logger.warning(
+                    "variable_kind_rejected",
+                    data_model=self.name,
+                    variable=code,
+                    kind=cde.kind,
+                    accepted=list(kinds),
+                )
                 raise SpecificationError(
                     f"variable {code!r} is {cde.kind}; expected one of {list(kinds)}"
                 )
@@ -151,6 +161,12 @@ class CDERegistry:
         if model.name in self._models and not replace:
             raise CatalogError(f"data model {model.name!r} already registered")
         self._models[model.name] = model
+        logger.info(
+            "data_model_registered",
+            data_model=model.name,
+            variables=len(model.cdes),
+            replace=replace,
+        )
 
     def get(self, name: str) -> DataModel:
         model = self._models.get(name)

@@ -23,6 +23,9 @@ from repro.engine.column import Column
 from repro.engine.table import ColumnSpec, Schema, Table
 from repro.engine.types import SQLType
 from repro.errors import SpecificationError
+from repro.observability.log import get_logger
+
+logger = get_logger("data.cohorts")
 
 #: Per-diagnosis generative parameters: mean shifts in units of each block.
 _DIAGNOSIS_PROFILE = {
@@ -156,6 +159,13 @@ def generate_cohort(spec: CohortSpec) -> Table:
     }
     specs = [ColumnSpec(name, sql_type) for name, (sql_type, _) in columns.items()]
     built = [Column.from_values(sql_type, values) for sql_type, values in columns.values()]
+    logger.debug(
+        "cohort_generated",
+        dataset=spec.name,
+        patients=n,
+        seed=spec.seed,
+        na_rate=spec.na_rate,
+    )
     return Table(Schema(specs), built)
 
 

@@ -11,6 +11,9 @@ from repro.federation.master import Master
 from repro.federation.policy import FailurePolicy
 from repro.federation.transport import Transport
 from repro.federation.worker import DEFAULT_PRIVACY_THRESHOLD, Worker
+from repro.observability.audit import AuditLog
+from repro.observability.metrics import MetricsRegistry, global_registry
+from repro.observability.trace import tracer
 from repro.smpc.cluster import SMPCCluster
 
 
@@ -57,6 +60,98 @@ class Federation:
         self.transport.set_down(worker_id, down)
         self.master.refresh_catalog()
 
+    # ---------------------------------------------------------- observability
+
+    def audit_logs(self) -> list[AuditLog]:
+        """Every node's append-only audit log: master first, then workers."""
+        return [self.master.audit] + [
+            self.workers[w].audit for w in sorted(self.workers)
+        ]
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """A unified registry over every live counter in this federation.
+
+        The registry absorbs existing sources — transport stats, the UDF
+        plan cache, circuit-breaker health, SMPC meters, audit event counts
+        and process-wide privacy counters — via collectors, so values are
+        read lazily at snapshot/render time and the original objects stay
+        untouched.
+        """
+        from repro.udfgen.generator import plan_cache
+
+        registry = MetricsRegistry()
+        transport = self.transport
+        master = self.master
+        smpc = self.smpc_cluster
+
+        def transport_samples():
+            stats = transport.snapshot()
+            yield ("repro_transport_messages_total", {}, float(stats.messages))
+            yield ("repro_transport_bytes_sent_total", {}, float(stats.bytes_sent))
+            yield ("repro_transport_simulated_seconds_total", {}, stats.simulated_seconds)
+            yield ("repro_transport_retries_total", {}, float(stats.retries))
+            yield ("repro_transport_failed_sends_total", {}, float(stats.failed_sends))
+            yield ("repro_transport_parallelism", {}, float(transport.parallelism))
+
+        def plan_cache_samples():
+            stats = plan_cache.stats()
+            hits, misses = stats["hits"], stats["misses"]
+            yield ("repro_udf_plan_cache_hits_total", {}, float(hits))
+            yield ("repro_udf_plan_cache_misses_total", {}, float(misses))
+            yield ("repro_udf_plan_cache_size", {}, float(stats["size"]))
+            total = hits + misses
+            yield ("repro_udf_plan_cache_hit_ratio", {}, hits / total if total else 0.0)
+
+        def health_samples():
+            yield (
+                "repro_worker_breaker_evictions_total",
+                {},
+                float(master.health.evictions),
+            )
+            yield (
+                "repro_worker_quarantined",
+                {},
+                float(len(master.health.quarantined())),
+            )
+
+        def smpc_samples():
+            if smpc is None:
+                return
+            yield ("repro_smpc_rounds_total", {}, float(smpc.communication.rounds))
+            yield ("repro_smpc_elements_total", {}, float(smpc.communication.elements))
+            yield ("repro_smpc_offline_triples_total", {}, float(smpc.offline_usage.triples))
+            yield (
+                "repro_smpc_offline_random_bits_total",
+                {},
+                float(smpc.offline_usage.random_bits),
+            )
+
+        def audit_samples():
+            counts: dict[tuple[str, str], int] = {}
+            for log in self.audit_logs():
+                for event in log.events():
+                    key = (event.node, event.event)
+                    counts[key] = counts.get(key, 0) + 1
+            for (node, event_name), count in sorted(counts.items()):
+                yield (
+                    "repro_audit_events_total",
+                    {"node": node, "event": event_name},
+                    float(count),
+                )
+
+        def privacy_samples():
+            for name, value in global_registry.snapshot().items():
+                if name.startswith("repro_privacy_") and isinstance(value, (int, float)):
+                    yield (name, {}, float(value))
+
+        registry.register_collector(transport_samples)
+        registry.register_collector(plan_cache_samples)
+        registry.register_collector(health_samples)
+        registry.register_collector(smpc_samples)
+        registry.register_collector(audit_samples)
+        registry.register_collector(privacy_samples)
+        return registry
+
 
 def create_federation(
     worker_data: Mapping[str, Mapping[str, Table]],
@@ -94,4 +189,7 @@ def create_federation(
     )
     master = Master(transport, list(workers), smpc_cluster=smpc, failure_policy=policy)
     master.refresh_catalog()
+    # Traces report where the *modeled* network time goes: point the process
+    # tracer's simulated clock at this federation's transport.
+    tracer.sim_clock = lambda: transport.stats.simulated_seconds
     return Federation(transport, master, workers, smpc, config)

@@ -39,6 +39,8 @@ from repro.errors import (
 from repro.federation.policy import FailurePolicy, WorkerHealth
 from repro.federation.serialization import table_from_payload
 from repro.federation.transport import BroadcastResult, Transport
+from repro.observability.audit import AuditLog
+from repro.observability.trace import tracer
 from repro.smpc.cluster import NoiseSpec, SMPCCluster
 from repro.udfgen.decorators import udf_registry
 from repro.udfgen.generator import generate_udf_application, run_udf_application
@@ -63,6 +65,8 @@ class Master:
         self.smpc_cluster = smpc_cluster
         self.policy = failure_policy or FailurePolicy()
         self.health = WorkerHealth(self.policy.failure_threshold)
+        #: Append-only privacy audit trail of everything this master touched.
+        self.audit = AuditLog(MASTER_ID)
         self.database = Database(name=MASTER_ID)
         self.database.set_remote_resolver(self._resolve_remote)
         self._availability: dict[str, dict[str, list[str]]] = {}
@@ -166,29 +170,31 @@ class Master:
         propagate — degrading only ever swallows unavailability.
         """
         workers = [request[0] for request in requests]
-        results = self.transport.send_many(sender, requests, on_error="return")
-        responses: dict[str, dict[str, Any]] = {}
-        lost: dict[str, FederationError] = {}
-        for worker, result in zip(workers, results):
-            if isinstance(result, NodeUnavailableError):
-                lost[worker] = result
-            elif isinstance(result, BaseException):
-                raise result
-            else:
-                responses[worker] = result
-        for worker in responses:
-            self.health.record_success(worker)
-        for worker in lost:
-            self.health.record_failure(worker)
-        if lost:
-            first = next(iter(lost.values()))
-            if not self.policy.degrade:
-                raise first
-            if len(responses) < self.policy.min_workers:
-                raise QuorumError(
-                    f"{what}: only {len(responses)} of {len(workers)} workers "
-                    f"reachable; quorum requires {self.policy.min_workers}"
-                ) from first
+        with tracer.span("master.fan_out", what=what, n=len(workers)) as span:
+            results = self.transport.send_many(sender, requests, on_error="return")
+            responses: dict[str, dict[str, Any]] = {}
+            lost: dict[str, FederationError] = {}
+            for worker, result in zip(workers, results):
+                if isinstance(result, NodeUnavailableError):
+                    lost[worker] = result
+                elif isinstance(result, BaseException):
+                    raise result
+                else:
+                    responses[worker] = result
+            for worker in responses:
+                self.health.record_success(worker)
+            for worker in lost:
+                self.health.record_failure(worker)
+            if lost:
+                span.set_attribute("lost", sorted(lost))
+                first = next(iter(lost.values()))
+                if not self.policy.degrade:
+                    raise first
+                if len(responses) < self.policy.min_workers:
+                    raise QuorumError(
+                        f"{what}: only {len(responses)} of {len(workers)} workers "
+                        f"reachable; quorum requires {self.policy.min_workers}"
+                    ) from first
         return responses, lost
 
     # ------------------------------------------------------------ local steps
@@ -249,18 +255,25 @@ class Master:
             self._remote_counter += 1
             counter = self._remote_counter
         ordered = sorted(worker_tables.items())
-        lost = self._prefetch_tables(ordered)
-        if lost:
-            ordered = [(worker, table) for worker, table in ordered if worker not in lost]
-        merge_name = f"merge_{job_id}_{counter}"
-        self.database.execute(f"CREATE MERGE TABLE {merge_name} (transfer VARCHAR)")
-        for index, (worker, table) in enumerate(ordered):
-            remote_name = f"remote_{job_id}_{counter}_{index}"
-            self.database.execute(
-                f"CREATE REMOTE TABLE {remote_name} (transfer VARCHAR) ON '{worker}/{table}'"
-            )
-            self.database.execute(f"ALTER TABLE {merge_name} ADD TABLE {remote_name}")
-        merged = self.database.query(f"SELECT * FROM {merge_name}")
+        with tracer.span("master.plain_gather", job=job_id, n=len(ordered)):
+            lost = self._prefetch_tables(ordered)
+            if lost:
+                ordered = [(worker, table) for worker, table in ordered if worker not in lost]
+            merge_name = f"merge_{job_id}_{counter}"
+            self.database.execute(f"CREATE MERGE TABLE {merge_name} (transfer VARCHAR)")
+            for index, (worker, table) in enumerate(ordered):
+                remote_name = f"remote_{job_id}_{counter}_{index}"
+                self.database.execute(
+                    f"CREATE REMOTE TABLE {remote_name} (transfer VARCHAR) ON '{worker}/{table}'"
+                )
+                self.database.execute(f"ALTER TABLE {merge_name} ADD TABLE {remote_name}")
+            merged = self.database.query(f"SELECT * FROM {merge_name}")
+        self.audit.record(
+            "plain_aggregate",
+            job_id=job_id,
+            workers=[worker for worker, _table in ordered],
+            dropped=sorted(lost),
+        )
         return [json.loads(blob) for blob in merged.column("transfer").to_list()]
 
     def _prefetch_tables(self, worker_tables: Sequence[tuple[str, str]]) -> set[str]:
@@ -308,23 +321,31 @@ class Master:
         if self.smpc_cluster is None:
             raise FederationError("no SMPC cluster is configured")
         ordered = sorted(worker_tables.items())
-        responses, lost = self._fan_out(
-            SMPC_ID,
-            [(worker, "get_secure_payload", {"table": table}) for worker, table in ordered],
-            what="secure-share fetch",
+        with tracer.span("master.secure_gather", job=job_id, n=len(ordered)):
+            responses, lost = self._fan_out(
+                SMPC_ID,
+                [(worker, "get_secure_payload", {"table": table}) for worker, table in ordered],
+                what="secure-share fetch",
+            )
+            for worker in lost:
+                self.smpc_cluster.drop_worker(job_id, worker)
+            for worker, _table in ordered:
+                if worker in responses:
+                    self.smpc_cluster.import_shares(
+                        job_id, worker, responses[worker]["payload"]
+                    )
+            try:
+                aggregated = self.smpc_cluster.aggregate(job_id, noise=noise)
+            except Exception:
+                self.smpc_cluster.abort_job(job_id)
+                raise
+        self.audit.record(
+            "secure_aggregate",
+            job_id=job_id,
+            workers=sorted(responses),
+            dropped=sorted(lost),
+            keys=sorted(aggregated),
         )
-        for worker in lost:
-            self.smpc_cluster.drop_worker(job_id, worker)
-        for worker, _table in ordered:
-            if worker in responses:
-                self.smpc_cluster.import_shares(
-                    job_id, worker, responses[worker]["payload"]
-                )
-        try:
-            aggregated = self.smpc_cluster.aggregate(job_id, noise=noise)
-        except Exception:
-            self.smpc_cluster.abort_job(job_id)
-            raise
         return {key: value for key, value in aggregated.items()}
 
     # ----------------------------------------------------------- global steps
@@ -373,18 +394,19 @@ class Master:
         """
         blob = self.database.scalar(f"SELECT * FROM {table}")
         placed = {worker: f"bcast_{table}_{worker}" for worker in workers}
-        responses, _lost = self._fan_out(
-            self.node_id,
-            [
-                (
-                    worker,
-                    "put_transfer",
-                    {"job_id": job_id, "table": placed[worker], "blob": blob},
-                )
-                for worker in workers
-            ],
-            what="global-transfer broadcast",
-        )
+        with tracer.span("master.broadcast_transfer", table=table, n=len(workers)):
+            responses, _lost = self._fan_out(
+                self.node_id,
+                [
+                    (
+                        worker,
+                        "put_transfer",
+                        {"job_id": job_id, "table": placed[worker], "blob": blob},
+                    )
+                    for worker in workers
+                ],
+                what="global-transfer broadcast",
+            )
         return {worker: placed[worker] for worker in workers if worker in responses}
 
     # ---------------------------------------------------------------- cleanup

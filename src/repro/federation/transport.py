@@ -48,6 +48,7 @@ from repro.errors import (
 )
 from repro.federation.messages import Message
 from repro.federation.policy import RetryPolicy
+from repro.observability.trace import tracer
 
 Handler = Callable[[Message], dict[str, Any]]
 
@@ -82,6 +83,16 @@ class TransportStats:
         self.simulated_seconds = 0.0
         self.retries = 0
         self.failed_sends = 0
+
+    def copy(self) -> "TransportStats":
+        """An independent copy; mutating it never touches live counters."""
+        return TransportStats(
+            self.messages,
+            self.bytes_sent,
+            self.simulated_seconds,
+            self.retries,
+            self.failed_sends,
+        )
 
 
 class FanoutResult(list):
@@ -191,13 +202,17 @@ class Transport:
     def snapshot(self) -> TransportStats:
         """A consistent copy of the aggregate counters."""
         with self._stats_lock:
-            return TransportStats(
-                self.stats.messages,
-                self.stats.bytes_sent,
-                self.stats.simulated_seconds,
-                self.stats.retries,
-                self.stats.failed_sends,
-            )
+            return self.stats.copy()
+
+    def link_snapshot(self) -> dict[tuple[str, str], TransportStats]:
+        """Deep copies of the per-link counters.
+
+        ``link_stats`` itself holds the live objects (mutated under the
+        stats lock); handing those to callers would let them corrupt the
+        lock-free read path, so accessors copy.
+        """
+        with self._stats_lock:
+            return {link: stats.copy() for link, stats in self.link_stats.items()}
 
     # ------------------------------------------------------ failure injection
 
@@ -215,9 +230,10 @@ class Transport:
 
     def send(self, sender: str, receiver: str, kind: str, payload: dict[str, Any] | None = None) -> dict[str, Any]:
         """Deliver one message (with retries) and return the response payload."""
-        outcome, elapsed = self._run_schedule(
-            sender, receiver, kind, payload, self._draw_schedule()
-        )
+        with tracer.span("transport.send", receiver=receiver, kind=kind) as span:
+            outcome, elapsed = self._run_schedule(
+                sender, receiver, kind, payload, self._draw_schedule(), span
+            )
         with self._stats_lock:
             self.stats.simulated_seconds += elapsed
         if isinstance(outcome, BaseException):
@@ -256,18 +272,30 @@ class Transport:
             return FanoutResult([], {}) if on_error == "skip" else []
         schedules = [self._draw_schedule() for _ in requests]
         width = min(self.parallelism, len(requests))
+        # The group span is opened in the caller's thread and handed to every
+        # pool thread explicitly, so per-worker send spans stay children of
+        # the fan-out even though thread-local stacks do not cross threads.
+        group_span = tracer.span(
+            "transport.fanout", n=len(requests), kind=requests[0][1], width=width
+        )
 
         def attempt(index: int) -> tuple[Any, float]:
             receiver, kind, payload = requests[index]
-            return self._run_schedule(sender, receiver, kind, payload, schedules[index])
+            with tracer.span(
+                "transport.send", parent=group_span, receiver=receiver, kind=kind
+            ) as span:
+                return self._run_schedule(
+                    sender, receiver, kind, payload, schedules[index], span
+                )
 
-        if width <= 1:
-            outcomes = [attempt(i) for i in range(len(requests))]
-            clock = sum(elapsed for _, elapsed in outcomes)
-        else:
-            executor = self._ensure_executor()
-            outcomes = list(executor.map(attempt, range(len(requests))))
-            clock = max(elapsed for _, elapsed in outcomes)
+        with group_span:
+            if width <= 1:
+                outcomes = [attempt(i) for i in range(len(requests))]
+                clock = sum(elapsed for _, elapsed in outcomes)
+            else:
+                executor = self._ensure_executor()
+                outcomes = list(executor.map(attempt, range(len(requests))))
+                clock = max(elapsed for _, elapsed in outcomes)
         with self._stats_lock:
             self.stats.simulated_seconds += clock
         results = [outcome for outcome, _ in outcomes]
@@ -353,6 +381,7 @@ class Transport:
         kind: str,
         payload: dict[str, Any] | None,
         schedule: _Schedule,
+        span=None,
     ) -> tuple[Any, float]:
         """One logical send: attempts + backoff under the retry policy.
 
@@ -360,8 +389,13 @@ class Transport:
         so group dispatch can account the elapsed time of failures too.
         Transient errors are retried until the schedule or the deadline runs
         out; permanent errors (handler exceptions, unknown nodes) surface
-        immediately.
+        immediately.  When tracing, ``span`` records the retry count and the
+        final outcome.
         """
+        if span is None:
+            from repro.observability.trace import NULL_SPAN
+
+            span = NULL_SPAN
         policy = self.retry
         deadline = policy.deadline_seconds
         total = 0.0
@@ -371,12 +405,15 @@ class Transport:
             except Exception as exc:  # noqa: BLE001 - classified below
                 if not is_transient(exc):
                     self._record_failed_send()
+                    span.set_error(f"{type(exc).__name__}: {exc}")
                     return exc, total
                 # A failed attempt still costs its timeout detection.
                 total += self.latency_seconds
                 final = attempt + 1 == len(schedule.drops)
                 if final:
                     self._record_failed_send()
+                    span.set_attribute("retries", attempt)
+                    span.set_error(f"{type(exc).__name__}: {exc}")
                     return exc, total
                 delay = policy.backoff_delay(attempt, schedule.jitters[attempt])
                 if deadline is not None and total + delay >= deadline:
@@ -386,18 +423,23 @@ class Transport:
                         f"deadline after {attempt + 1} attempts"
                     )
                     timeout.__cause__ = exc
+                    span.set_attribute("retries", attempt)
+                    span.set_error(f"FederationTimeoutError: {timeout}")
                     return timeout, total
                 total += delay
                 with self._stats_lock:
                     self.stats.retries += 1
                 continue
             total += elapsed
+            if attempt:
+                span.set_attribute("retries", attempt)
             if deadline is not None and total > deadline:
                 self._record_failed_send()
                 timeout = FederationTimeoutError(
                     f"response for {kind!r} from {receiver!r} arrived after "
                     f"the {deadline}s deadline"
                 )
+                span.set_error(f"FederationTimeoutError: {timeout}")
                 return timeout, total
             return response, total
         raise AssertionError("unreachable: schedule always resolves")

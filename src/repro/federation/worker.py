@@ -27,6 +27,8 @@ from repro.engine.table import Table
 from repro.errors import FederationError, PrivacyThresholdError, UDFError
 from repro.federation.messages import Message
 from repro.federation.serialization import table_to_payload
+from repro.observability.audit import AuditLog
+from repro.observability.trace import tracer
 from repro.udfgen.decorators import udf_registry
 from repro.udfgen.generator import generate_udf_application, run_udf_application
 from repro.udfgen.iotypes import (
@@ -58,6 +60,8 @@ class Worker:
         self.node_id = node_id
         self.database = Database(name=node_id)
         self.privacy_threshold = privacy_threshold
+        #: Append-only audit trail of what this hospital's data was used for.
+        self.audit = AuditLog(node_id)
         self._datasets: dict[str, list[str]] = {}  # data_model -> dataset codes
         self._data_tables: dict[str, str] = {}  # data_model -> table name
         self._outputs: dict[str, _OutputRecord] = {}  # table -> record
@@ -116,8 +120,9 @@ class Worker:
         handler = handlers.get(message.kind)
         if handler is None:
             raise FederationError(f"worker cannot handle message kind {message.kind!r}")
-        with self._handle_lock:
-            return handler(dict(message.payload))
+        with tracer.span("worker.handle", node=self.node_id, kind=message.kind):
+            with self._handle_lock:
+                return handler(dict(message.payload))
 
     # --------------------------------------------------------------- handlers
 
@@ -136,7 +141,7 @@ class Worker:
         for pname, iotype in spec.inputs:
             if pname not in arguments:
                 raise UDFError(f"missing argument {pname!r} for UDF {udf_name!r}")
-            bound[pname] = self._bind_argument(pname, iotype, arguments[pname])
+            bound[pname] = self._bind_argument(pname, iotype, arguments[pname], job_id)
         application = generate_udf_application(
             spec, f"{job_id}_{self.node_id}", bound
         )
@@ -148,7 +153,9 @@ class Worker:
             outputs.append({"table": table, "kind": kind})
         return {"outputs": outputs}
 
-    def _bind_argument(self, pname: str, iotype: Any, spec: dict[str, Any]) -> Any:
+    def _bind_argument(
+        self, pname: str, iotype: Any, spec: dict[str, Any], job_id: str | None = None
+    ) -> Any:
         arg_kind = spec.get("kind")
         if arg_kind == "literal":
             return spec["value"]
@@ -165,11 +172,27 @@ class Worker:
                 raise UDFError(f"argument {pname!r}: data views bind only to relations")
             query = spec["query"]
             view = self.database.query(query)
+            self.audit.record(
+                "dataset_read",
+                job_id=job_id,
+                rows=view.num_rows,
+                variables=list(spec.get("variables", ())),
+                datasets=list(spec.get("datasets", ())),
+            )
             if view.num_rows < self.privacy_threshold:
+                self.audit.record(
+                    "privacy_threshold_rejected",
+                    job_id=job_id,
+                    rows=view.num_rows,
+                    threshold=self.privacy_threshold,
+                )
                 raise PrivacyThresholdError(
                     f"worker {self.node_id!r}: data view has {view.num_rows} rows, "
                     f"below the privacy threshold of {self.privacy_threshold}"
                 )
+            self.audit.record(
+                "rows_contributed", job_id=job_id, rows=view.num_rows
+            )
             return query
         raise FederationError(f"unknown argument kind {arg_kind!r}")
 
@@ -187,6 +210,9 @@ class Worker:
                 "it must be imported by the SMPC cluster, not fetched in the clear"
             )
         blob = self.database.scalar(f"SELECT * FROM {table}")
+        self.audit.record(
+            "aggregate_shared", job_id=record.job_id, table=table, path="transfer"
+        )
         return {"transfer": blob}
 
     def _handle_put_transfer(self, payload: dict[str, Any]) -> dict[str, Any]:
@@ -211,6 +237,7 @@ class Worker:
         escaped = str(blob).replace("'", "''")
         self.database.execute(f"INSERT INTO {table} VALUES ('{escaped}')")
         self._outputs[table] = _OutputRecord(table, "transfer", job_id)
+        self.audit.record("transfer_received", job_id=job_id, table=table)
         return {"table": table}
 
     def _handle_get_secure_payload(self, payload: dict[str, Any]) -> dict[str, Any]:
@@ -221,6 +248,9 @@ class Worker:
                 f"worker {self.node_id!r}: table {table!r} is not a secure transfer"
             )
         blob = self.database.scalar(f"SELECT * FROM {table}")
+        self.audit.record(
+            "aggregate_shared", job_id=record.job_id, table=table, path="smpc"
+        )
         return {"payload": json.loads(blob)}
 
     def _handle_fetch_table(self, payload: dict[str, Any]) -> dict[str, Any]:
@@ -232,6 +262,9 @@ class Worker:
                 f"worker {self.node_id!r}: remote access to {record.kind!r} table "
                 f"{table!r} denied — the remote/merge path ships transfers only"
             )
+        self.audit.record(
+            "aggregate_shared", job_id=record.job_id, table=table, path="remote"
+        )
         return {"table": table_to_payload(self.database.get_table(table))}
 
     def _handle_cleanup(self, payload: dict[str, Any]) -> dict[str, Any]:

@@ -13,11 +13,14 @@ from repro.federation.controller import Federation
 from repro.federation.messages import new_job_id
 from repro.federation.scheduler import plan_shipping
 from repro.learning.aggregation import fedsgd
+from repro.observability.log import get_logger
 from repro.privacy.accountant import PrivacyAccountant
 from repro.privacy.mechanisms import gaussian_sigma
 from repro.smpc.cluster import NoiseSpec
 from repro.udfgen import literal, relation, secure_transfer, transfer, udf
 from repro.udfgen import udf_helpers as _h  # noqa: F401  (UDF bodies use _h)
+
+logger = get_logger("learning.trainer")
 
 
 @udf(params_in=literal(), return_type=[transfer()])
@@ -236,8 +239,11 @@ class FederatedTrainer:
 
         per_round_epsilon = config.epsilon / config.rounds
         per_round_delta = config.delta / config.rounds
+        train_job = new_job_id("train")
         accountant = PrivacyAccountant(
-            epsilon_budget=config.epsilon * (1 + 1e-9) if config.mode != "none" else None
+            epsilon_budget=config.epsilon * (1 + 1e-9) if config.mode != "none" else None,
+            audit=master.audit,
+            scope=train_job,
         )
         sigma = (
             gaussian_sigma(per_round_epsilon, per_round_delta, config.clip_norm)
@@ -251,7 +257,7 @@ class FederatedTrainer:
         update_context = ExecutionContext(
             master, config.data_model, plan.assignments,
             aggregation="smpc" if self.federation.smpc_cluster else "plain",
-            noise=noise, job_prefix=new_job_id("train"),
+            noise=noise, job_prefix=train_job,
         )
         eval_context = ExecutionContext(
             master, config.data_model, plan.assignments,
@@ -348,16 +354,25 @@ class FederatedTrainer:
                 )
                 metrics = eval_context.get_transfer_data(eval_handle)
                 n_total = max(float(metrics["n"]), 1.0)
-                history.append(
-                    {
-                        "round": round_index + 1,
-                        "loss": float(metrics["loss_sum"]) / n_total,
-                        "accuracy": float(metrics["correct"]) / n_total,
-                    }
-                )
+                entry = {
+                    "round": round_index + 1,
+                    "loss": float(metrics["loss_sum"]) / n_total,
+                    "accuracy": float(metrics["correct"]) / n_total,
+                }
+                history.append(entry)
+                logger.info("training_round", mode=config.mode, **entry)
         update_context.cleanup()
         eval_context.cleanup()
         spent = accountant.spent()
+        logger.info(
+            "training_finished",
+            mode=config.mode,
+            rounds=config.rounds,
+            epsilon_spent=spent.epsilon,
+            delta_spent=spent.delta,
+            final_loss=history[-1]["loss"] if history else None,
+            final_accuracy=history[-1]["accuracy"] if history else None,
+        )
         return TrainingResult(
             weights=weights,
             design_names=design_names,

@@ -1,0 +1,46 @@
+"""Observability: tracing, metrics, audit logging, structured logging.
+
+Zero-dependency subsystem threaded through every layer of the reproduction
+(see docs/ARCHITECTURE.md §10):
+
+- :mod:`repro.observability.trace` — nested spans per federated flow, with
+  wall- and simulated-clock timestamps, exportable as JSON or Chrome
+  trace-event format (``REPRO_TRACE=1`` enables the process tracer),
+- :mod:`repro.observability.metrics` — counters/gauges/histograms plus
+  collectors that re-expose the stack's existing private counters behind
+  ``registry.snapshot()`` / ``registry.render_prometheus()``,
+- :mod:`repro.observability.audit` — append-only per-node privacy audit
+  log (data access, aggregates shared, budget spend, evictions),
+- :mod:`repro.observability.log` — the one structured JSON-lines logger
+  (``REPRO_LOG_LEVEL`` selects the threshold).
+"""
+
+from repro.observability.audit import AuditEvent, AuditLog, merged_events
+from repro.observability.log import LOG_LEVEL_ENV, configure, get_logger
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+from repro.observability.trace import TRACE_ENV, Span, Tracer, normalized_tree, tracer
+
+__all__ = [
+    "AuditEvent",
+    "AuditLog",
+    "merged_events",
+    "LOG_LEVEL_ENV",
+    "configure",
+    "get_logger",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "TRACE_ENV",
+    "Span",
+    "Tracer",
+    "normalized_tree",
+    "tracer",
+]

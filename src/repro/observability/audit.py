@@ -1,0 +1,120 @@
+"""Append-only privacy audit log for masters and workers.
+
+Federated medical platforms must answer, per experiment: which datasets and
+variables were read, how many rows each hospital contributed, which
+aggregates left each worker, how much privacy budget was spent, and which
+workers were evicted mid-flow.  Every node (the master and each worker)
+owns one :class:`AuditLog`; events are structured, monotonically sequenced,
+and never mutated or removed.
+
+Event vocabulary (the ``event`` field):
+
+- ``dataset_read`` — a worker compiled a data view (datasets, variables,
+  row count) for a local step,
+- ``rows_contributed`` — rows entering a local computation after the
+  privacy-threshold check,
+- ``aggregate_shared`` — a transfer/secure-transfer left a worker (and to
+  whom: master or SMPC cluster),
+- ``transfer_received`` — a global transfer was placed on a worker,
+- ``secure_aggregate`` — the SMPC cluster combined a job's shares,
+- ``privacy_spend`` — one (epsilon, delta) release from
+  :class:`repro.privacy.accountant.PrivacyAccountant`,
+- ``worker_evicted`` — the flow dropped a worker (degrade path),
+- ``experiment_started`` / ``experiment_finished`` — flow lifecycle.
+
+Step job ids are prefixed by their experiment id, so
+``log.events(job_id=<experiment_id>)`` returns everything an experiment
+touched (prefix match).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One immutable audit record."""
+
+    seq: int
+    wall_time: float
+    node: str
+    event: str
+    job_id: str | None
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "wall_time": self.wall_time,
+            "node": self.node,
+            "event": self.event,
+            "job_id": self.job_id,
+            "details": dict(self.details),
+        }
+
+
+class AuditLog:
+    """Thread-safe, append-only event log owned by one node."""
+
+    def __init__(self, node: str) -> None:
+        self.node = node
+        self._lock = threading.Lock()
+        self._events: list[AuditEvent] = []
+
+    def record(self, event: str, job_id: str | None = None, **details: Any) -> AuditEvent:
+        with self._lock:
+            entry = AuditEvent(
+                seq=len(self._events),
+                wall_time=time.time(),
+                node=self.node,
+                event=event,
+                job_id=job_id,
+                details=details,
+            )
+            self._events.append(entry)
+            return entry
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def events(
+        self,
+        job_id: str | None = None,
+        event: str | None = None,
+    ) -> list[AuditEvent]:
+        """Query the log; ``job_id`` prefix-matches step ids of an experiment."""
+        with self._lock:
+            entries = list(self._events)
+        if event is not None:
+            entries = [e for e in entries if e.event == event]
+        if job_id is not None:
+            entries = [
+                e
+                for e in entries
+                if e.job_id is not None
+                and (e.job_id == job_id or e.job_id.startswith(f"{job_id}_"))
+            ]
+        return entries
+
+    def to_dicts(
+        self, job_id: str | None = None, event: str | None = None
+    ) -> list[dict[str, Any]]:
+        return [entry.to_dict() for entry in self.events(job_id=job_id, event=event)]
+
+
+def merged_events(
+    logs: Iterable[AuditLog],
+    job_id: str | None = None,
+    event: str | None = None,
+) -> list[dict[str, Any]]:
+    """One experiment's audit trail across nodes, in (time, node, seq) order."""
+    entries: list[AuditEvent] = []
+    for log in logs:
+        entries.extend(log.events(job_id=job_id, event=event))
+    entries.sort(key=lambda e: (e.wall_time, e.node, e.seq))
+    return [entry.to_dict() for entry in entries]

@@ -6,6 +6,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.errors import PrivacyError
+from repro.observability.metrics import global_registry
 
 
 @dataclass(frozen=True)
@@ -25,13 +26,23 @@ class PrivacyAccountant:
     training round).
     """
 
-    def __init__(self, epsilon_budget: float | None = None, delta_budget: float | None = None) -> None:
+    def __init__(
+        self,
+        epsilon_budget: float | None = None,
+        delta_budget: float | None = None,
+        audit=None,
+        scope: str = "",
+    ) -> None:
         if epsilon_budget is not None and epsilon_budget <= 0:
             raise PrivacyError("epsilon budget must be positive")
         if delta_budget is not None and not 0 <= delta_budget < 1:
             raise PrivacyError("delta budget must be in [0, 1)")
         self.epsilon_budget = epsilon_budget
         self.delta_budget = delta_budget
+        #: Optional observability.audit.AuditLog; each accounted release is
+        #: recorded there as a ``privacy_spend`` event under ``scope``.
+        self.audit = audit
+        self.scope = scope
         self._releases: list[tuple[float, float]] = []
 
     def record(self, epsilon: float, delta: float = 0.0) -> None:
@@ -50,6 +61,26 @@ class PrivacyAccountant:
                 f"delta budget exhausted: {prospective.delta:.2e} > {self.delta_budget}"
             )
         self._releases.append((epsilon, delta))
+        global_registry.counter(
+            "repro_privacy_epsilon_spent_total", "Total epsilon accounted across releases"
+        ).inc(epsilon)
+        global_registry.counter(
+            "repro_privacy_delta_spent_total", "Total delta accounted across releases"
+        ).inc(delta)
+        global_registry.counter(
+            "repro_privacy_releases_total", "Number of accounted mechanism releases"
+        ).inc()
+        if self.audit is not None:
+            self.audit.record(
+                "privacy_spend",
+                job_id=self.scope or None,
+                epsilon=epsilon,
+                delta=delta,
+                total_epsilon=prospective.epsilon,
+                total_delta=prospective.delta,
+                epsilon_budget=self.epsilon_budget,
+                delta_budget=self.delta_budget,
+            )
 
     @property
     def n_releases(self) -> int:

@@ -24,6 +24,7 @@ from typing import Any, Literal, Mapping, Sequence
 import numpy as np
 
 from repro.errors import SMPCError
+from repro.observability.trace import tracer
 from repro.smpc.encoding import FixedPointEncoder
 from repro.smpc.field import FieldVector
 from repro.smpc.protocol import FTProtocol, Protocol, ShamirProtocol
@@ -94,10 +95,15 @@ class SMPCCluster:
         happens inside :meth:`Protocol.input_vector` and the communication is
         metered identically.
         """
-        job = self._jobs.setdefault(job_id, SecureComputationRequest(job_id))
-        if worker_id in job.payloads:
-            raise SMPCError(f"worker {worker_id!r} already contributed to job {job_id!r}")
-        job.payloads[worker_id] = {k: dict(v) for k, v in payload.items()}
+        with tracer.span(
+            "smpc.import_shares", job=job_id, worker=worker_id, keys=len(payload)
+        ):
+            job = self._jobs.setdefault(job_id, SecureComputationRequest(job_id))
+            if worker_id in job.payloads:
+                raise SMPCError(
+                    f"worker {worker_id!r} already contributed to job {job_id!r}"
+                )
+            job.payloads[worker_id] = {k: dict(v) for k, v in payload.items()}
 
     def has_job(self, job_id: str) -> bool:
         return job_id in self._jobs or job_id in self._results
@@ -114,7 +120,11 @@ class SMPCCluster:
         job = self._jobs.get(job_id)
         if job is None:
             return False
-        return job.payloads.pop(worker_id, None) is not None
+        dropped = job.payloads.pop(worker_id, None) is not None
+        if dropped:
+            with tracer.span("smpc.drop_worker", job=job_id, worker=worker_id):
+                pass
+        return dropped
 
     def abort_job(self, job_id: str) -> bool:
         """Forget a pending job (a failed flow cleaning up after itself)."""
@@ -137,16 +147,28 @@ class SMPCCluster:
             if list(job.payloads[worker]) != keys:
                 raise SMPCError(f"SMPC job {job_id!r}: workers disagree on transfer keys")
         result: dict[str, Any] = {}
-        for key in keys:
-            operations = {job.payloads[w][key]["operation"] for w in workers}
-            if len(operations) != 1:
-                raise SMPCError(f"SMPC job {job_id!r}, key {key!r}: conflicting operations")
-            operation = operations.pop()
-            flattened = [_flatten(job.payloads[w][key]["data"]) for w in workers]
-            shapes = {f.shape for f in flattened}
-            if len(shapes) != 1:
-                raise SMPCError(f"SMPC job {job_id!r}, key {key!r}: shape mismatch")
-            result[key] = self._aggregate_one(operation, flattened, noise)
+        with tracer.span(
+            "smpc.aggregate",
+            job=job_id,
+            workers=len(workers),
+            keys=len(keys),
+            scheme=self.scheme,
+        ) as span:
+            rounds_before = self.protocol.meter.rounds
+            for key in keys:
+                operations = {job.payloads[w][key]["operation"] for w in workers}
+                if len(operations) != 1:
+                    raise SMPCError(
+                        f"SMPC job {job_id!r}, key {key!r}: conflicting operations"
+                    )
+                operation = operations.pop()
+                flattened = [_flatten(job.payloads[w][key]["data"]) for w in workers]
+                shapes = {f.shape for f in flattened}
+                if len(shapes) != 1:
+                    raise SMPCError(f"SMPC job {job_id!r}, key {key!r}: shape mismatch")
+                with tracer.span("smpc.aggregate_key", key=key, operation=operation):
+                    result[key] = self._aggregate_one(operation, flattened, noise)
+            span.set_attribute("rounds", self.protocol.meter.rounds - rounds_before)
         self._results[job_id] = result
         del self._jobs[job_id]
         return result

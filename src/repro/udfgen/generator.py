@@ -33,6 +33,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.engine.database import Database
 from repro.errors import UDFError
+from repro.observability.trace import tracer
 from repro.udfgen.decorators import UDFSpec
 from repro.udfgen.iotypes import (
     IOType,
@@ -191,12 +192,16 @@ def generate_udf_application(
     if not spec.source:
         raise UDFError(f"UDF {spec.name!r}: source is unavailable; cannot generate SQL")
 
-    key = _plan_key(spec, stateful)
-    plan = plan_cache.lookup(key) if use_cache else None
-    if plan is None:
-        plan = _build_plan(spec, key, stateful)
-        if use_cache:
-            plan_cache.store(key, plan)
+    with tracer.span("udf.generate", udf=spec.name) as span:
+        key = _plan_key(spec, stateful)
+        plan = plan_cache.lookup(key) if use_cache else None
+        if plan is None:
+            span.set_attribute("plan_cache", "miss" if use_cache else "bypass")
+            plan = _build_plan(spec, key, stateful)
+            if use_cache:
+                plan_cache.store(key, plan)
+        else:
+            span.set_attribute("plan_cache", "hit")
 
     prefix = output_prefix or _sanitize(f"{spec.name}_{job_id}_out")
     output_tables = tuple(f"{prefix}_{i}" for i in range(len(spec.outputs)))
@@ -270,11 +275,13 @@ def run_udf_application(database: Database, application: UDFApplication) -> tupl
     definition statement is skipped: after the first iteration of an
     iterative flow, a step costs two tiny DDL statements plus the INSERT.
     """
-    statements = application.statements
-    if application.reusable_definition and database.has_function(application.function_name):
-        statements = statements[1:]
-    for sql in statements:
-        database.execute(sql)
+    with tracer.span("udf.execute", function=application.function_name) as span:
+        statements = application.statements
+        if application.reusable_definition and database.has_function(application.function_name):
+            statements = statements[1:]
+            span.set_attribute("definition_skipped", True)
+        for sql in statements:
+            database.execute(sql)
     return application.output_tables
 
 

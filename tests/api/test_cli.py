@@ -80,3 +80,67 @@ class TestCommands:
         payload = json.loads(capsys.readouterr().out)
         assert payload["status"] == "success"
         assert payload["result"]["n_observations"] == 40
+
+
+class TestObservabilityCommands:
+    def test_trace_chrome_output(self, capsys):
+        code = main([
+            "trace", "--algorithm", "ttest_onesample", "-y", "p_tau",
+            "--param", "mu=50", "--rows", "80", "--aggregation", "plain",
+        ])
+        assert code == 0
+        trace = json.loads(capsys.readouterr().out)
+        events = trace["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+        names = {e["name"] for e in events}
+        assert {"experiment", "flow.local_step", "transport.send"} <= names
+
+    def test_trace_json_with_audit_to_file(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        code = main([
+            "trace", "--algorithm", "ttest_onesample", "-y", "p_tau",
+            "--param", "mu=50", "--rows", "80", "--aggregation", "plain",
+            "--format", "json", "--audit", "--out", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["spans"]
+        events = {entry["event"] for entry in payload["audit"]}
+        assert {"experiment_started", "dataset_read", "experiment_finished"} <= events
+
+    def test_trace_failure_exit_code(self, capsys):
+        code = main([
+            "trace", "--algorithm", "kmeans", "-y", "p_tau",
+            "--rows", "80", "--aggregation", "plain",  # k missing
+        ])
+        assert code == 1
+
+    def test_trace_leaves_tracer_disabled(self):
+        from repro.observability.trace import tracer
+
+        was_enabled = tracer.enabled
+        main([
+            "trace", "--algorithm", "ttest_onesample", "-y", "p_tau",
+            "--param", "mu=50", "--rows", "80", "--aggregation", "plain",
+        ])
+        assert tracer.enabled == was_enabled
+
+    def test_metrics_prometheus_output(self, capsys):
+        code = main([
+            "metrics", "--algorithm", "ttest_onesample", "-y", "p_tau",
+            "--param", "mu=50", "--rows", "80", "--aggregation", "plain",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "# TYPE repro_transport_messages_total counter" in text
+        assert "repro_audit_events_total{" in text
+
+    def test_metrics_json_output(self, capsys):
+        code = main([
+            "metrics", "--algorithm", "ttest_onesample", "-y", "p_tau",
+            "--param", "mu=50", "--rows", "80", "--aggregation", "plain",
+            "--format", "json",
+        ])
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["repro_transport_messages_total"] > 0

@@ -421,3 +421,37 @@ class TestRetries:
             RetryPolicy(jitter=2.0)
         with pytest.raises(FederationError):
             RetryPolicy(deadline_seconds=0.0)
+
+
+class TestSnapshotIsolation:
+    """snapshot()/link_snapshot() hand out copies, never the live counters."""
+
+    def test_snapshot_is_detached_from_live_stats(self):
+        t = make_transport(2)
+        t.send("w0", "w1", "ping")
+        snap = t.snapshot()
+        before = (snap.messages, snap.bytes_sent, snap.simulated_seconds)
+
+        snap.messages = 999_999
+        snap.reset()
+        assert t.stats.messages > 0, "mutating a snapshot must not touch live stats"
+
+        t.send("w0", "w1", "ping")
+        assert t.stats.messages == before[0] + 2
+        # The first snapshot is frozen at the moment it was taken.
+        assert snap.messages == 0
+        assert t.snapshot().messages == before[0] + 2
+
+    def test_link_snapshot_is_deep_copied(self):
+        t = make_transport(2)
+        t.send("w0", "w1", "ping")
+        links = t.link_snapshot()
+        live_messages = t.link_stats[("w0", "w1")].messages
+
+        links[("w0", "w1")].messages = 999_999
+        assert t.link_stats[("w0", "w1")].messages == live_messages
+
+        # Each call yields fresh, mutually independent copies.
+        again = t.link_snapshot()
+        assert again[("w0", "w1")].messages == live_messages
+        assert again[("w0", "w1")] is not links[("w0", "w1")]

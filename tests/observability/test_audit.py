@@ -1,0 +1,58 @@
+"""The append-only audit log and cross-node merging."""
+
+from repro.observability.audit import AuditLog, merged_events
+
+
+class TestAuditLog:
+    def test_record_and_query(self):
+        log = AuditLog("hospital_a")
+        log.record("dataset_read", job_id="exp_1_s1", rows=120)
+        log.record("aggregate_shared", job_id="exp_1_s2", table="t")
+        log.record("dataset_read", job_id="exp_2_s1", rows=50)
+        assert len(log) == 3
+        assert len(log.events(event="dataset_read")) == 2
+
+    def test_experiment_prefix_match(self):
+        log = AuditLog("master")
+        log.record("experiment_started", job_id="exp_1")
+        log.record("secure_aggregate", job_id="exp_1_s3_x")
+        log.record("experiment_started", job_id="exp_10")  # not a prefix match
+        events = log.events(job_id="exp_1")
+        assert [e.job_id for e in events] == ["exp_1", "exp_1_s3_x"]
+
+    def test_sequence_is_monotonic(self):
+        log = AuditLog("n")
+        entries = [log.record("e") for _ in range(5)]
+        assert [e.seq for e in entries] == [0, 1, 2, 3, 4]
+
+    def test_details_are_copied_out(self):
+        log = AuditLog("n")
+        log.record("e", rows=1)
+        first = log.to_dicts()[0]
+        first["details"]["rows"] = 999
+        assert log.to_dicts()[0]["details"]["rows"] == 1
+
+    def test_events_without_job_id_are_excluded_from_job_queries(self):
+        log = AuditLog("n")
+        log.record("global_event")
+        assert log.events(job_id="exp_1") == []
+        assert len(log.events()) == 1
+
+
+class TestMergedEvents:
+    def test_merge_orders_by_time_then_node(self):
+        a, b = AuditLog("a"), AuditLog("b")
+        a.record("first", job_id="exp_1")
+        b.record("second", job_id="exp_1_s1")
+        a.record("third", job_id="exp_1_s2")
+        merged = merged_events([a, b], job_id="exp_1")
+        assert sorted(e["event"] for e in merged) == ["first", "second", "third"]
+        keys = [(e["wall_time"], e["node"], e["seq"]) for e in merged]
+        assert keys == sorted(keys)
+
+    def test_merge_filters_by_event(self):
+        a, b = AuditLog("a"), AuditLog("b")
+        a.record("dataset_read", job_id="j")
+        b.record("aggregate_shared", job_id="j")
+        merged = merged_events([a, b], event="dataset_read")
+        assert [e["node"] for e in merged] == ["a"]

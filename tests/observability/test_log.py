@@ -1,0 +1,75 @@
+"""The structured JSON-lines logger and its level knob."""
+
+import io
+import json
+
+import pytest
+
+from repro.observability.log import LOG_LEVEL_ENV, configure, get_logger
+
+
+@pytest.fixture
+def capture():
+    stream = io.StringIO()
+    configure(level="info", stream=stream)
+    yield stream
+    configure()  # restore env-driven defaults
+
+
+def lines(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestStructuredLogger:
+    def test_emits_json_lines(self, capture):
+        log = get_logger("test.module")
+        log.info("round_finished", round=3, loss=0.41)
+        (record,) = lines(capture)
+        assert record["logger"] == "test.module"
+        assert record["event"] == "round_finished"
+        assert record["round"] == 3
+        assert record["loss"] == 0.41
+        assert record["level"] == "info"
+        assert "ts" in record
+
+    def test_threshold_filters(self, capture):
+        log = get_logger("test.module")
+        log.debug("hidden")
+        log.warning("shown")
+        assert [r["event"] for r in lines(capture)] == ["shown"]
+
+    def test_env_variable_controls_default_level(self, monkeypatch):
+        stream = io.StringIO()
+        configure(level=None, stream=stream)  # stream override, env level
+        try:
+            monkeypatch.setenv(LOG_LEVEL_ENV, "debug")
+            get_logger("t").debug("now_visible")
+            monkeypatch.setenv(LOG_LEVEL_ENV, "error")
+            get_logger("t").warning("now_hidden")
+        finally:
+            configure()
+        assert [r["event"] for r in lines(stream)] == ["now_visible"]
+
+    def test_default_threshold_is_warning(self, monkeypatch):
+        stream = io.StringIO()
+        configure(level=None, stream=stream)
+        try:
+            monkeypatch.delenv(LOG_LEVEL_ENV, raising=False)
+            log = get_logger("t")
+            log.info("quiet")
+            log.warning("loud")
+        finally:
+            configure()
+        assert [r["event"] for r in lines(stream)] == ["loud"]
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure(level="verbose")
+
+    def test_get_logger_is_cached(self):
+        assert get_logger("same") is get_logger("same")
+
+    def test_non_json_values_stringified(self, capture):
+        get_logger("t").info("e", obj={1, 2}.__class__)
+        (record,) = lines(capture)
+        assert "class" in record["obj"]

@@ -1,0 +1,117 @@
+"""The unified metrics registry: instruments, collectors, renderers."""
+
+import json
+
+import pytest
+
+from repro.observability.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        counter = registry.counter("jobs_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labels_track_separately(self, registry):
+        counter = registry.counter("sends_total")
+        counter.inc(receiver="a")
+        counter.inc(receiver="a")
+        counter.inc(receiver="b")
+        assert counter.value(receiver="a") == 2
+        assert counter.value(receiver="b") == 1
+
+    def test_rejects_negative(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self, registry):
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_conflict(self, registry):
+        registry.counter("thing")
+        with pytest.raises(ValueError):
+            registry.gauge("thing")
+
+
+class TestGauge:
+    def test_set_and_add(self, registry):
+        gauge = registry.gauge("workers_up")
+        gauge.set(3)
+        gauge.add(-1)
+        assert gauge.value() == 2
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self, registry):
+        hist = registry.histogram("latency", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.7, 5.0):
+            hist.observe(value)
+        snap = hist.snapshot_one()
+        assert snap["buckets"][0.1] == 1
+        assert snap["buckets"][1.0] == 3
+        assert snap["buckets"]["+Inf"] == 4
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(6.25)
+
+    def test_prometheus_samples_carry_le_label(self, registry):
+        hist = registry.histogram("h", buckets=(1.0,))
+        hist.observe(0.5)
+        text = registry.render_prometheus()
+        assert 'h_bucket{le="1.0"} 1' in text
+        assert 'h_bucket{le="+Inf"} 1' in text
+        assert "h_count 1" in text
+
+
+class TestCollectors:
+    def test_collector_read_lazily(self, registry):
+        live = {"messages": 0}
+        registry.register_collector(
+            lambda: [("transport_messages_total", {}, float(live["messages"]))]
+        )
+        assert registry.snapshot()["transport_messages_total"] == 0
+        live["messages"] = 7
+        assert registry.snapshot()["transport_messages_total"] == 7
+
+    def test_labeled_collector_samples(self, registry):
+        registry.register_collector(
+            lambda: [
+                ("audit_events_total", {"node": "a"}, 2.0),
+                ("audit_events_total", {"node": "b"}, 1.0),
+            ]
+        )
+        snapshot = registry.snapshot()["audit_events_total"]
+        assert {entry["labels"]["node"]: entry["value"] for entry in snapshot} == {
+            "a": 2.0,
+            "b": 1.0,
+        }
+
+
+class TestRenderers:
+    def test_prometheus_text_format(self, registry):
+        counter = registry.counter("requests_total", "Requests seen")
+        counter.inc(3, code="200")
+        text = registry.render_prometheus()
+        assert "# HELP requests_total Requests seen" in text
+        assert "# TYPE requests_total counter" in text
+        assert 'requests_total{code="200"} 3' in text
+        assert text.endswith("\n")
+
+    def test_label_escaping(self, registry):
+        registry.counter("c").inc(1, path='a"b\\c')
+        text = registry.render_prometheus()
+        assert 'path="a\\"b\\\\c"' in text
+
+    def test_render_json_round_trips(self, registry):
+        registry.gauge("g").set(1.5)
+        assert json.loads(registry.render_json())["g"] == 1.5
+
+    def test_unlabeled_single_sample_is_scalar(self, registry):
+        registry.counter("plain").inc(4)
+        assert registry.snapshot()["plain"] == 4

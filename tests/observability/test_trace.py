@@ -1,0 +1,179 @@
+"""The span tracer: nesting, errors, exports, disabled-mode behavior."""
+
+import json
+import threading
+
+import pytest
+
+from repro.observability.trace import NULL_SPAN, Tracer, normalized_tree
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(enabled=True)
+
+
+class TestSpans:
+    def test_nesting_and_ids(self, tracer):
+        with tracer.span("outer", kind="flow") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+        assert outer.parent_id is None
+        assert outer.end_wall is not None and outer.end_wall >= outer.start_wall
+
+    def test_sibling_roots_get_distinct_traces(self, tracer):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        first, second = tracer.spans()
+        assert first.trace_id != second.trace_id
+
+    def test_current_follows_the_stack(self, tracer):
+        assert tracer.current() is None
+        with tracer.span("a") as a:
+            assert tracer.current() is a
+            with tracer.span("b") as b:
+                assert tracer.current() is b
+            assert tracer.current() is a
+        assert tracer.current() is None
+
+    def test_explicit_parent_crosses_threads(self, tracer):
+        with tracer.span("fanout") as group:
+            child_ids = []
+
+            def work():
+                with tracer.span("send", parent=group) as child:
+                    child_ids.append((child.parent_id, child.trace_id))
+
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+        assert child_ids == [(group.span_id, group.trace_id)]
+
+    def test_exception_marks_error(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        (span,) = tracer.spans()
+        assert span.status == "error"
+        assert "ValueError" in span.error
+
+    def test_set_error_without_raising(self, tracer):
+        with tracer.span("soft") as span:
+            span.set_error("degraded")
+        assert tracer.spans()[0].status == "error"
+
+    def test_attributes(self, tracer):
+        with tracer.span("s", a=1) as span:
+            span.set_attribute("b", [2, 3])
+        assert tracer.spans()[0].attributes == {"a": 1, "b": [2, 3]}
+
+
+class TestDisabled:
+    def test_disabled_returns_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything", x=1)
+        assert span is NULL_SPAN
+        with span as entered:
+            entered.set_attribute("k", "v")
+            entered.set_error("ignored")
+        assert tracer.spans() == []
+
+    def test_enable_disable_round_trip(self):
+        tracer = Tracer(enabled=False)
+        tracer.enable()
+        with tracer.span("real"):
+            pass
+        tracer.disable()
+        assert tracer.span("fake") is NULL_SPAN
+        assert len(tracer.spans()) == 1
+
+    def test_reset_clears_buffer(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.spans() == []
+        with tracer.span("b") as span:
+            assert span.span_id == 1
+
+
+class TestExports:
+    def test_export_json_is_flat_and_linked(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        flat = tracer.export_json()
+        assert [s["name"] for s in flat] == ["outer", "inner"]
+        assert flat[1]["parent_id"] == flat[0]["span_id"]
+        json.dumps(flat)  # JSON-serializable
+
+    def test_export_chrome_format(self, tracer):
+        with tracer.span("outer", step="s1"):
+            with tracer.span("inner"):
+                pass
+        trace = tracer.export_chrome()
+        events = trace["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert "sim_seconds" in event["args"]
+        assert events[0]["args"]["step"] == "s1"
+        json.dumps(trace)
+
+    def test_chrome_error_category(self, tracer):
+        with tracer.span("bad") as span:
+            span.set_error("broken")
+        (event,) = tracer.export_chrome()["traceEvents"]
+        assert "error" in event["cat"]
+        assert event["args"]["error"] == "broken"
+
+    def test_span_tree_nests_children(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("left"):
+                pass
+            with tracer.span("right"):
+                pass
+        (root,) = tracer.span_tree()
+        assert root["name"] == "root"
+        assert sorted(c["name"] for c in root["children"]) == ["left", "right"]
+
+    def test_simulated_clock(self, tracer):
+        clock = {"now": 1.0}
+        tracer.sim_clock = lambda: clock["now"]
+        with tracer.span("timed") as span:
+            clock["now"] = 3.5
+        assert span.start_sim == 1.0
+        assert span.end_sim == 3.5
+
+
+class TestNormalizedTree:
+    def test_ignores_sibling_order_and_unstable_attrs(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("child", receiver="a", plan_cache="hit"):
+                pass
+            with tracer.span("child", receiver="b", plan_cache="miss"):
+                pass
+        first = normalized_tree(tracer.span_tree())
+
+        other = Tracer(enabled=True)
+        with other.span("root"):
+            with other.span("child", receiver="b", plan_cache="hit"):
+                pass
+            with other.span("child", receiver="a", plan_cache="miss"):
+                pass
+        assert normalized_tree(other.span_tree()) == first
+
+    def test_distinguishes_structure(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("child", retries=1):
+                pass
+        one = normalized_tree(tracer.span_tree())
+        other = Tracer(enabled=True)
+        with other.span("root"):
+            with other.span("child", retries=2):
+                pass
+        assert normalized_tree(other.span_tree()) != one

@@ -1,0 +1,153 @@
+"""Tracing determinism and end-to-end observability through the stack.
+
+The transport pre-draws its drop/jitter schedules in request order, so with
+the same seed a flow produces the same span *structure* at any fan-out
+parallelism — only timestamps and thread placement differ.  The chaos-suite
+federations exercise the lossy paths: spans must record retries and audit
+logs must record evictions.
+"""
+
+import json
+
+import pytest
+
+from repro.federation.policy import FailurePolicy
+from repro.observability.trace import normalized_tree, tracer
+from tests.chaos.harness import (
+    build_chaos_federation,
+    chaos_worker_data,
+    run_experiment,
+)
+
+
+@pytest.fixture
+def tracing():
+    """Enable the process tracer for one test, restoring the prior state."""
+    was_enabled = tracer.enabled
+    tracer.reset()
+    tracer.enable()
+    yield tracer
+    tracer.reset()
+    if not was_enabled:
+        tracer.disable()
+
+
+def traced_run(
+    *,
+    seed,
+    parallelism,
+    drop_probability=0.0,
+    retries=0,
+    algorithm="pearson_correlation",
+    y=("lefthippocampus", "righthippocampus"),
+    x=(),
+):
+    tracer.reset()
+    federation = build_chaos_federation(
+        chaos_worker_data(rows=60),
+        drop_probability=drop_probability,
+        seed=seed,
+        policy=FailurePolicy(retries=retries, on_worker_loss="degrade", min_workers=1),
+        parallelism=parallelism,
+    )
+    result = run_experiment(federation, algorithm, y=y, x=x)
+    return federation, result, normalized_tree()
+
+
+class TestDeterminism:
+    def test_same_seed_same_tree_at_any_parallelism(self, tracing):
+        _, result_seq, tree_seq = traced_run(seed=101, parallelism=1)
+        _, result_par, tree_par = traced_run(seed=101, parallelism=8)
+        assert result_seq.status.value == "success"
+        assert result_par.status.value == "success"
+        assert tree_seq == tree_par
+
+    def test_lossy_runs_stay_deterministic(self, tracing):
+        runs = [
+            traced_run(seed=7, parallelism=p, drop_probability=0.15, retries=3)[2]
+            for p in (1, 8)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_different_seeds_differ(self, tracing):
+        _, _, one = traced_run(seed=1, parallelism=1, drop_probability=0.3, retries=2)
+        _, _, two = traced_run(seed=2, parallelism=1, drop_probability=0.3, retries=2)
+        # With 30% drops the retry pattern virtually surely differs.
+        assert one != two
+
+
+class TestSpanCoverage:
+    def test_trace_covers_every_layer(self, tracing):
+        _, result, _ = traced_run(
+            seed=5,
+            parallelism=4,
+            algorithm="linear_regression",
+            y=("lefthippocampus",),
+            x=("agevalue",),
+        )
+        assert result.status.value == "success"
+        names = {span.name for span in tracer.spans()}
+        assert {
+            "experiment",
+            "flow.local_step",
+            "flow.global_step",
+            "master.fan_out",
+            "transport.fanout",
+            "transport.send",
+            "worker.handle",
+            "udf.generate",
+            "udf.execute",
+        } <= names
+
+    def test_spans_record_retries(self, tracing):
+        traced_run(seed=7, parallelism=4, drop_probability=0.25, retries=3)
+        retried = [
+            span
+            for span in tracer.spans()
+            if span.name == "transport.send" and span.attributes.get("retries")
+        ]
+        assert retried, "a 25% drop rate must force at least one retry"
+
+    def test_chrome_export_is_valid_after_chaos(self, tracing):
+        traced_run(seed=7, parallelism=4, drop_probability=0.25, retries=3)
+        trace = tracer.export_chrome()
+        text = json.dumps(trace)
+        parsed = json.loads(text)
+        assert parsed["traceEvents"], "chaos trace must contain events"
+        assert all(e["ph"] == "X" for e in parsed["traceEvents"])
+
+
+class TestAuditThroughChaos:
+    def test_eviction_recorded_in_audit(self, tracing):
+        federation = build_chaos_federation(
+            chaos_worker_data(rows=60),
+            drop_probability=0.0,
+            seed=3,
+            policy=FailurePolicy(retries=0, on_worker_loss="degrade", min_workers=1),
+            parallelism=2,
+        )
+        federation.set_worker_down("hospital_b")
+        # The catalog excludes the dead worker, so force it back into the plan.
+        from tests.chaos.harness import run_algorithm_on_context
+
+        result, context = run_algorithm_on_context(
+            federation,
+            {"hospital_a": ["edsd"], "hospital_b": ["adni"], "hospital_c": ["ppmi"]},
+            "pearson_correlation",
+            y=("lefthippocampus", "righthippocampus"),
+            job_prefix="exp_audit_evict",
+        )
+        assert context.evicted
+        evictions = federation.master.audit.events(event="worker_evicted")
+        assert evictions
+        assert "hospital_b" in evictions[0].details["workers"]
+
+    def test_experiment_result_carries_merged_audit(self, tracing):
+        federation, result, _ = traced_run(seed=9, parallelism=2)
+        assert result.audit, "experiment results must carry their audit trail"
+        events = {entry["event"] for entry in result.audit}
+        assert {"experiment_started", "dataset_read", "rows_contributed",
+                "experiment_finished"} <= events
+        nodes = {entry["node"] for entry in result.audit}
+        assert "master" in nodes
+        assert any(node.startswith("hospital_") for node in nodes)
