@@ -30,9 +30,17 @@ class MIPService:
         federation: Federation,
         aggregation: str = "smpc",
         noise: NoiseSpec | None = None,
+        pool_size: int = 1,
+        max_queued: int = 128,
     ) -> None:
         self.federation = federation
-        self.engine = ExperimentEngine(federation, aggregation=aggregation, noise=noise)
+        self.engine = ExperimentEngine(
+            federation,
+            aggregation=aggregation,
+            noise=noise,
+            max_concurrent=pool_size,
+            max_queued=max_queued,
+        )
 
     # --------------------------------------------------------- data catalogue
 
@@ -111,7 +119,37 @@ class MIPService:
         filter_sql: str | None = None,
         name: str = "",
     ) -> ExperimentResult:
-        """Create and run an experiment (the UI's "Run Experiment" button)."""
+        """Create and run an experiment (the UI's "Run Experiment" button).
+
+        A convenience shim over the asynchronous surface: submit + wait.
+        """
+        return self.engine.wait(
+            self.submit_experiment(
+                algorithm,
+                data_model,
+                datasets,
+                y=y,
+                x=x,
+                parameters=parameters,
+                filter_sql=filter_sql,
+                name=name,
+            )
+        )
+
+    def submit_experiment(
+        self,
+        algorithm: str,
+        data_model: str,
+        datasets: Sequence[str],
+        y: Sequence[str] = (),
+        x: Sequence[str] = (),
+        parameters: Mapping[str, Any] | None = None,
+        filter_sql: str | None = None,
+        name: str = "",
+        priority: int = 0,
+    ) -> str:
+        """Enqueue an experiment; returns its id immediately (paper §2's
+        asynchronous poll-by-identifier workflow)."""
         request = ExperimentRequest(
             algorithm=algorithm,
             data_model=data_model,
@@ -122,7 +160,17 @@ class MIPService:
             filter_sql=filter_sql,
             name=name,
         )
-        return self.engine.run(request)
+        return self.engine.submit(request, priority=priority)
+
+    def wait_experiment(
+        self, experiment_id: str, timeout: float | None = None
+    ) -> ExperimentResult:
+        """Block until a submitted experiment finishes."""
+        return self.engine.wait(experiment_id, timeout=timeout)
+
+    def cancel_experiment(self, experiment_id: str) -> bool:
+        """Cancel a queued (guaranteed) or running (cooperative) experiment."""
+        return self.engine.cancel(experiment_id)
 
     def experiment(self, experiment_id: str) -> ExperimentResult:
         """Poll one experiment ("My Experiments")."""
@@ -131,11 +179,31 @@ class MIPService:
     def experiments(self) -> list[ExperimentResult]:
         return self.engine.history()
 
+    def jobs(self) -> list[dict[str, Any]]:
+        """Every submitted job's state, in submission order."""
+        return [snapshot.to_dict() for snapshot in self.engine.jobs()]
+
     # ---------------------------------------------------------- observability
 
     def metrics_registry(self):
-        """The federation-wide unified metrics registry (lazily evaluated)."""
-        return self.federation.metrics_registry()
+        """The federation-wide unified metrics registry (lazily evaluated),
+        extended with this service's experiment-queue health."""
+        registry = self.federation.metrics_registry()
+        queue = self.engine.queue
+
+        def queue_samples():
+            stats = queue.stats()
+            yield ("repro_queue_depth", {}, float(stats["depth"]))
+            yield ("repro_queue_running", {}, float(stats["running"]))
+            yield ("repro_queue_pool_size", {}, float(stats["pool_size"]))
+            yield ("repro_queue_submitted_total", {}, float(stats["submitted_total"]))
+            yield ("repro_queue_succeeded_total", {}, float(stats["succeeded_total"]))
+            yield ("repro_queue_failed_total", {}, float(stats["failed_total"]))
+            yield ("repro_queue_cancelled_total", {}, float(stats["cancelled_total"]))
+            yield ("repro_queue_wait_seconds_total", {}, stats["wait_seconds_total"])
+
+        registry.register_collector(queue_samples)
+        return registry
 
     def metrics_snapshot(self) -> dict[str, Any]:
         """Every current metric value as one JSON-ready mapping."""
@@ -175,7 +243,12 @@ class MIPService:
             total = 0
             for worker_id in alive:
                 worker = self.federation.workers[worker_id]
-                if model in worker.datasets():
+                # A worker can advertise a model whose table is not (yet)
+                # materialized — e.g. registered datasets with deferred
+                # loading — so guard on the table too, not just the catalog.
+                if model in worker.datasets() and worker.database.has_table(
+                    f"data_{model}"
+                ):
                     total += worker.database.get_table(f"data_{model}").num_rows
             caseload[model] = total
         transport = self.federation.transport.stats
@@ -198,6 +271,7 @@ class MIPService:
                     1 for r in self.engine.history() if r.status.value == "success"
                 ),
             },
+            "queue": self.engine.queue.stats(),
         }
         cluster = self.federation.smpc_cluster
         if cluster is not None:

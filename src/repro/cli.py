@@ -17,6 +17,9 @@ Examples::
     python -m repro trace --algorithm pearson_correlation \\
         -y lefthippocampus -y righthippocampus --out trace.json
     python -m repro metrics --algorithm mean -y lefthippocampus
+    python -m repro submit --algorithm descriptive_stats -y lefthippocampus --no-wait
+    python -m repro jobs --algorithm descriptive_stats -y lefthippocampus --repeat 6 --pool 3
+    python -m repro cancel --algorithm descriptive_stats -y lefthippocampus --repeat 4
 """
 
 from __future__ import annotations
@@ -66,7 +69,28 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--format", choices=("prometheus", "json"),
                          default="prometheus")
 
-    for subparser in (run, trace, metrics):
+    submit = subcommands.add_parser(
+        "submit", help="submit an experiment to the job queue"
+    )
+    submit.add_argument("--priority", type=int, default=0,
+                        help="dispatch priority (higher runs first)")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the job id and queue state instead of "
+                             "blocking on the result")
+    jobs = subcommands.add_parser(
+        "jobs", help="submit a batch through the queue and list every job"
+    )
+    cancel = subcommands.add_parser(
+        "cancel", help="submit a batch, cancel the last queued job, list states"
+    )
+    for subparser in (submit, jobs, cancel):
+        subparser.add_argument("--pool", type=int, default=2,
+                               help="executor pool size (default 2)")
+    for subparser in (jobs, cancel):
+        subparser.add_argument("--repeat", type=int, default=4,
+                               help="number of experiments to submit (default 4)")
+
+    for subparser in (run, trace, metrics, submit, jobs, cancel):
         subparser.add_argument("--algorithm", required=True)
         subparser.add_argument("--data-model", default="dementia")
         subparser.add_argument("--datasets", nargs="*", default=None,
@@ -135,7 +159,11 @@ def build_service(args: argparse.Namespace) -> MIPService:
         seed=getattr(args, "seed", 0),
     )
     federation = create_federation(worker_data, config)
-    return MIPService(federation, aggregation=getattr(args, "aggregation", "smpc"))
+    return MIPService(
+        federation,
+        aggregation=getattr(args, "aggregation", "smpc"),
+        pool_size=getattr(args, "pool", 1),
+    )
 
 
 def command_catalogue(args: argparse.Namespace) -> int:
@@ -241,6 +269,98 @@ def command_metrics(args: argparse.Namespace) -> int:
     return 0 if result.status.value == "success" else 1
 
 
+def _submit_kwargs(args: argparse.Namespace, service: MIPService) -> dict[str, Any]:
+    """Shared submit/jobs/cancel path: resolve datasets and request fields."""
+    datasets = args.datasets
+    if not datasets:
+        datasets = sorted(service.datasets(args.data_model))
+    return {
+        "algorithm": args.algorithm,
+        "data_model": args.data_model,
+        "datasets": datasets,
+        "y": args.y,
+        "x": args.x,
+        "parameters": dict(parse_parameter(p) for p in args.param),
+        "filter_sql": args.filter,
+    }
+
+
+def _job_table(service: MIPService) -> list[dict[str, Any]]:
+    return [
+        {k: v for k, v in snapshot.items() if v is not None}
+        for snapshot in service.jobs()
+    ]
+
+
+def command_submit(args: argparse.Namespace) -> int:
+    """`repro submit`: enqueue one experiment; --no-wait returns immediately."""
+    service = build_service(args)
+    job_id = service.submit_experiment(
+        **_submit_kwargs(args, service), priority=args.priority
+    )
+    if args.no_wait:
+        print(json.dumps({"experiment_id": job_id,
+                          "queue": service.engine.queue.stats()}, indent=2))
+        return 0
+    result = service.wait_experiment(job_id)
+    payload = {
+        "experiment_id": result.experiment_id,
+        "status": result.status.value,
+        "elapsed_seconds": round(result.elapsed_seconds, 4),
+    }
+    if result.status.value == "success":
+        payload["result"] = result.result
+    else:
+        payload["error"] = result.error
+    print(json.dumps(payload, indent=2))
+    return 0 if result.status.value == "success" else 1
+
+
+def command_jobs(args: argparse.Namespace) -> int:
+    """`repro jobs`: push a batch through the queue, report every job."""
+    service = build_service(args)
+    kwargs = _submit_kwargs(args, service)
+    ids = [
+        service.submit_experiment(**kwargs, name=f"batch-{index}")
+        for index in range(args.repeat)
+    ]
+    results = [service.wait_experiment(job_id) for job_id in ids]
+    print(json.dumps({
+        "jobs": _job_table(service),
+        "queue": service.engine.queue.stats(),
+        "telemetry": [
+            {"experiment_id": r.experiment_id,
+             "messages": r.telemetry.messages,
+             "smpc_rounds": r.telemetry.smpc_rounds}
+            for r in results
+        ],
+    }, indent=2))
+    return 0 if all(r.status.value == "success" for r in results) else 1
+
+
+def command_cancel(args: argparse.Namespace) -> int:
+    """`repro cancel`: demonstrate pre-dispatch cancellation on a batch."""
+    service = build_service(args)
+    kwargs = _submit_kwargs(args, service)
+    ids = [
+        service.submit_experiment(**kwargs, name=f"batch-{index}")
+        for index in range(args.repeat)
+    ]
+    cancelled = service.cancel_experiment(ids[-1])
+    for job_id in ids[:-1]:
+        service.wait_experiment(job_id)
+    # wait() resolves for cancelled jobs too (pre-dispatch ones immediately).
+    last = service.wait_experiment(ids[-1])
+    print(json.dumps({
+        "cancelled": cancelled,
+        "cancelled_job": {"experiment_id": last.experiment_id,
+                          "status": last.status.value,
+                          "error": last.error},
+        "jobs": _job_table(service),
+    }, indent=2))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -256,6 +376,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": command_run,
         "trace": command_trace,
         "metrics": command_metrics,
+        "submit": command_submit,
+        "jobs": command_jobs,
+        "cancel": command_cancel,
     }
     try:
         return handlers[args.command](args)

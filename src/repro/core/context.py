@@ -9,10 +9,16 @@ tracks every created table for cleanup.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
-from repro.errors import AlgorithmError, FederationError, QuorumError
+from repro.errors import (
+    AlgorithmError,
+    ExperimentCancelledError,
+    FederationError,
+    QuorumError,
+)
 from repro.core.state import GlobalHandle, LocalHandle
 from repro.federation.master import Master
 from repro.federation.messages import new_job_id
@@ -58,6 +64,7 @@ class ExecutionContext:
         noise: NoiseSpec | None = None,
         filter_sql: str | None = None,
         job_prefix: str | None = None,
+        cancel_event: threading.Event | None = None,
     ) -> None:
         if aggregation not in ("smpc", "plain"):
             raise AlgorithmError(f"unknown aggregation path {aggregation!r}")
@@ -71,11 +78,24 @@ class ExecutionContext:
         self.noise = noise
         self.filter_sql = filter_sql
         self.job_id = job_prefix or new_job_id("exp")
+        #: Cooperative cancellation: the job queue sets this flag; the flow
+        #: observes it between steps (not mid-send), so a cancelled
+        #: experiment stops at the next step boundary.
+        self.cancel_event = cancel_event
         self._step_counter = itertools.count(1)
         self._broadcasts: dict[tuple[str, str], str] = {}  # (table, worker) -> remote name
         #: Workers evicted from this flow mid-experiment (degrading failure
         #: policy), mapped to the step at which they were lost.
         self.evicted: dict[str, str] = {}
+
+    # ----------------------------------------------------------- cancellation
+
+    def check_cancelled(self) -> None:
+        """Raise if this experiment's job was cancelled (between-step check)."""
+        if self.cancel_event is not None and self.cancel_event.is_set():
+            raise ExperimentCancelledError(
+                f"experiment {self.job_id} was cancelled mid-flow"
+            )
 
     # ------------------------------------------------------------- data views
 
@@ -104,6 +124,7 @@ class ExecutionContext:
         share_to_global: Sequence[bool],
     ) -> LocalHandle | tuple[LocalHandle, ...]:
         """Run one local computation step on every participating worker."""
+        self.check_cancelled()
         spec = get_spec(func)
         if len(share_to_global) != len(spec.outputs):
             raise AlgorithmError(
@@ -234,6 +255,7 @@ class ExecutionContext:
         share_to_locals: Sequence[bool],
     ) -> GlobalHandle | tuple[GlobalHandle, ...]:
         """Run one global step on the master, aggregating local transfers."""
+        self.check_cancelled()
         spec = get_spec(func)
         if len(share_to_locals) != len(spec.outputs):
             raise AlgorithmError(
@@ -311,6 +333,7 @@ class ExecutionContext:
 
     def get_transfer_data(self, handle: GlobalHandle | LocalHandle) -> Any:
         """Read transfer contents on the master (the Figure 2 final read)."""
+        self.check_cancelled()
         if isinstance(handle, GlobalHandle):
             return self.master.read_transfer(handle.table)
         if isinstance(handle, LocalHandle):

@@ -2,32 +2,34 @@
 
 Mirrors the UI flow in paper Figure 3: pick variables, datasets and an
 algorithm, set parameters, run, and poll the experiment until it finishes.
+
+The machinery lives in two collaborators: :class:`~repro.core.runner.ExperimentRunner`
+(the pure validate → plan → contextualize → execute path) and
+:class:`~repro.core.jobs.ExperimentQueue` (admission control, executor pool,
+job states, per-job telemetry, history).  :class:`ExperimentEngine` is the
+thin facade tying them together; its synchronous :meth:`ExperimentEngine.run`
+is submit + wait, so sequential callers behave exactly as before while
+``submit``/``cancel`` unlock the paper's asynchronous, poll-by-id workflow.
 """
 
 from __future__ import annotations
 
 import enum
-import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping
 
-from repro.core.context import ExecutionContext
-from repro.core.registry import algorithm_registry
-from repro.core.specs import validate_parameters
-from repro.errors import AlgorithmError, ReproError, SpecificationError
+from repro.errors import ExperimentNotFoundError  # noqa: F401 - re-export
 from repro.federation.controller import Federation
-from repro.federation.messages import new_job_id
-from repro.federation.scheduler import plan_shipping
-from repro.observability.audit import merged_events
-from repro.observability.trace import tracer
 from repro.smpc.cluster import NoiseSpec
 
 
 class ExperimentStatus(enum.Enum):
     PENDING = "pending"
+    QUEUED = "queued"
     RUNNING = "running"
     SUCCESS = "success"
     ERROR = "error"
+    CANCELLED = "cancelled"
 
 
 @dataclass(frozen=True)
@@ -77,6 +79,8 @@ class ExperimentEngine:
 
     ``aggregation`` selects the paper's two data-aggregation paths:
     ``"smpc"`` (secure, default) or ``"plain"`` (remote/merge tables).
+    ``max_concurrent`` sizes the executor pool; the default of 1 keeps
+    strictly sequential semantics for synchronous callers.
     """
 
     def __init__(
@@ -84,148 +88,71 @@ class ExperimentEngine:
         federation: Federation,
         aggregation: str = "smpc",
         noise: NoiseSpec | None = None,
+        max_concurrent: int = 1,
+        max_queued: int = 128,
     ) -> None:
+        # Imported lazily: runner/jobs import this module for the result
+        # dataclasses, so a module-level import would be circular.
+        from repro.core.jobs import ExperimentQueue
+        from repro.core.runner import ExperimentRunner
+
         self.federation = federation
-        self.aggregation = aggregation
-        self.noise = noise
-        self._history: dict[str, ExperimentResult] = {}
+        self.runner = ExperimentRunner(federation, aggregation=aggregation, noise=noise)
+        self.queue = ExperimentQueue(
+            self.runner, max_concurrent=max_concurrent, max_queued=max_queued
+        )
+
+    # Algorithm code and tests read these off the engine; they live on the
+    # runner now, so present them as delegating properties.
+    @property
+    def aggregation(self) -> str:
+        return self.runner.aggregation
+
+    @aggregation.setter
+    def aggregation(self, value: str) -> None:
+        self.runner.aggregation = value
+
+    @property
+    def noise(self) -> NoiseSpec | None:
+        return self.runner.noise
+
+    @noise.setter
+    def noise(self, value: NoiseSpec | None) -> None:
+        self.runner.noise = value
 
     # ------------------------------------------------------------------- run
 
     def run(self, request: ExperimentRequest) -> ExperimentResult:
-        experiment_id = new_job_id("exp")
-        started = time.perf_counter()
-        workers: tuple[str, ...] = ()
-        usage_before = self._usage_snapshot()
-        master_audit = self.federation.master.audit
-        master_audit.record(
-            "experiment_started",
-            job_id=experiment_id,
-            algorithm=request.algorithm,
-            data_model=request.data_model,
-            datasets=sorted(request.datasets),
-        )
-        with tracer.span(
-            "experiment", experiment=experiment_id, algorithm=request.algorithm
-        ) as root_span:
-            try:
-                algorithm_cls = algorithm_registry.get(request.algorithm)
-                parameters = validate_parameters(algorithm_cls.parameters, request.parameters)
-                self._check_variables(algorithm_cls, request)
-                metadata = self._variable_metadata(algorithm_cls, request)
-                context = self._build_context(request, experiment_id)
-                workers = tuple(context.workers)
-                algorithm = algorithm_cls(
-                    context,
-                    y=list(request.y),
-                    x=list(request.x),
-                    parameters=parameters,
-                    metadata=metadata,
-                )
-                result_data = algorithm.run()
-                context.cleanup()
-                result = ExperimentResult(
-                    experiment_id=experiment_id,
-                    request=request,
-                    status=ExperimentStatus.SUCCESS,
-                    result=result_data,
-                    elapsed_seconds=time.perf_counter() - started,
-                    workers=workers,
-                    telemetry=self._usage_delta(usage_before),
-                )
-            except ReproError as exc:
-                root_span.set_error(f"{type(exc).__name__}: {exc}")
-                result = ExperimentResult(
-                    experiment_id=experiment_id,
-                    request=request,
-                    status=ExperimentStatus.ERROR,
-                    error=f"{type(exc).__name__}: {exc}",
-                    elapsed_seconds=time.perf_counter() - started,
-                    workers=workers,
-                    telemetry=self._usage_delta(usage_before),
-                )
-        master_audit.record(
-            "experiment_finished",
-            job_id=experiment_id,
-            status=result.status.value,
-            elapsed_seconds=round(result.elapsed_seconds, 6),
-        )
-        result.audit = tuple(
-            merged_events(self.federation.audit_logs(), job_id=experiment_id)
-        )
-        self._history[experiment_id] = result
-        return result
+        """Synchronous execution: submit to the queue and wait."""
+        return self.wait(self.submit(request))
 
-    def _usage_snapshot(self) -> tuple[int, int, float, int, int]:
-        stats = self.federation.transport.stats
-        cluster = self.federation.smpc_cluster
-        rounds = cluster.communication.rounds if cluster else 0
-        elements = cluster.communication.elements if cluster else 0
-        return (stats.messages, stats.bytes_sent, stats.simulated_seconds,
-                rounds, elements)
+    def submit(
+        self,
+        request: ExperimentRequest,
+        priority: int = 0,
+        experiment_id: str | None = None,
+    ) -> str:
+        """Enqueue an experiment; returns its id immediately (paper §2's
+        "assigned a global unique identifier, used to retrieve results
+        asynchronously")."""
+        return self.queue.submit(request, priority=priority, experiment_id=experiment_id)
 
-    def _usage_delta(self, before: tuple[int, int, float, int, int]) -> ExperimentTelemetry:
-        after = self._usage_snapshot()
-        return ExperimentTelemetry(
-            messages=after[0] - before[0],
-            bytes_sent=after[1] - before[1],
-            simulated_network_seconds=after[2] - before[2],
-            smpc_rounds=after[3] - before[3],
-            smpc_elements=after[4] - before[4],
-        )
+    def wait(self, experiment_id: str, timeout: float | None = None) -> ExperimentResult:
+        return self.queue.wait(experiment_id, timeout=timeout)
+
+    def cancel(self, experiment_id: str) -> bool:
+        """Cancel a queued (guaranteed) or running (cooperative) experiment."""
+        return self.queue.cancel(experiment_id)
 
     def get(self, experiment_id: str) -> ExperimentResult:
-        try:
-            return self._history[experiment_id]
-        except KeyError:
-            raise AlgorithmError(f"no such experiment: {experiment_id!r}") from None
+        return self.queue.get(experiment_id)
 
     def history(self) -> list[ExperimentResult]:
-        return list(self._history.values())
+        return self.queue.history.list()
 
-    # --------------------------------------------------------------- helpers
+    def jobs(self):
+        """Snapshots of every submitted job, in submission order."""
+        return self.queue.jobs()
 
-    def _check_variables(self, algorithm_cls, request: ExperimentRequest) -> None:
-        if algorithm_cls.needs_y == "required" and not request.y:
-            raise SpecificationError(
-                f"algorithm {request.algorithm!r} requires dependent variables (y)"
-            )
-        if algorithm_cls.needs_x == "required" and not request.x:
-            raise SpecificationError(
-                f"algorithm {request.algorithm!r} requires covariates (x)"
-            )
-        if algorithm_cls.needs_y == "none" and request.y:
-            raise SpecificationError(f"algorithm {request.algorithm!r} takes no y variables")
-        if algorithm_cls.needs_x == "none" and request.x:
-            raise SpecificationError(f"algorithm {request.algorithm!r} takes no x variables")
-        if not request.datasets:
-            raise SpecificationError("an experiment needs at least one dataset")
-
-    def _variable_metadata(self, algorithm_cls, request: ExperimentRequest) -> dict[str, Any]:
-        """Validate variables against the data model's CDEs; return metadata."""
-        from repro.data.cdes import cde_registry
-
-        if request.data_model not in cde_registry:
-            # Unregistered data models are allowed (e.g. ad-hoc test data);
-            # algorithms then receive no metadata and treat all variables as
-            # numeric.
-            return {}
-        model = cde_registry.get(request.data_model)
-        model.validate_variables(request.y, algorithm_cls.y_types)
-        model.validate_variables(request.x, algorithm_cls.x_types)
-        return model.metadata_for(list(request.y) + list(request.x))
-
-    def _build_context(self, request: ExperimentRequest, experiment_id: str) -> ExecutionContext:
-        master = self.federation.master
-        master.refresh_catalog()
-        model_availability = master.availability.get(request.data_model, {})
-        plan = plan_shipping(model_availability, request.datasets)
-        return ExecutionContext(
-            master=master,
-            data_model=request.data_model,
-            worker_datasets=plan.assignments,
-            aggregation=self.aggregation,
-            noise=self.noise,
-            filter_sql=request.filter_sql,
-            job_prefix=experiment_id,
-        )
+    def shutdown(self, wait: bool = True) -> None:
+        self.queue.shutdown(wait=wait)

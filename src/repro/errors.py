@@ -76,6 +76,18 @@ class DatasetUnavailableError(FederationError):
     """A requested dataset is not present on any active worker."""
 
 
+class ExperimentNotFoundError(ReproError):
+    """An experiment or job id does not exist in the engine's history."""
+
+
+class ExperimentCancelledError(ReproError):
+    """An experiment was cancelled (pre-dispatch or cooperatively mid-flow)."""
+
+
+class QueueFullError(ReproError):
+    """The experiment queue rejected a submission (admission control)."""
+
+
 class AlgorithmError(ReproError):
     """An algorithm received invalid inputs or reached an invalid state."""
 

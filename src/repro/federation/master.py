@@ -71,8 +71,17 @@ class Master:
         self.database.set_remote_resolver(self._resolve_remote)
         self._availability: dict[str, dict[str, list[str]]] = {}
         self._global_outputs: dict[str, str] = {}  # table -> kind
-        self._remote_counter = 0
+        # Per-job table counters: names like merge_{job}_{n} must not
+        # depend on what *other* experiments did concurrently (a shared
+        # counter leaks into payload sizes via the table-name digits), so
+        # each job id counts its own tables deterministically.
+        self._job_counters: dict[str, int] = {}
         self._counter_lock = threading.Lock()
+        # The master's database hosts every experiment's global steps;
+        # the engine is not safe under concurrent mutation, so global-step
+        # execution and table management serialize here.  Worker fan-outs
+        # (the expensive, latency-bound part) stay outside this lock.
+        self._db_lock = threading.RLock()
         # Transfer tables prefetched by a parallel fan-out, keyed by
         # 'worker/table'; the remote resolver consumes them so resolution at
         # query time needs no further network round trips.
@@ -234,6 +243,12 @@ class Master:
             worker: responses[worker]["outputs"] for worker in workers if worker in responses
         }
 
+    def _next_counter(self, job_id: str) -> int:
+        with self._counter_lock:
+            value = self._job_counters.get(job_id, 0) + 1
+            self._job_counters[job_id] = value
+            return value
+
     # ------------------------------------------------------ aggregation paths
 
     def gather_transfers_plain(
@@ -251,23 +266,22 @@ class Master:
         step and this gather are skipped (quorum permitting): the merge
         covers surviving transfers only.
         """
-        with self._counter_lock:
-            self._remote_counter += 1
-            counter = self._remote_counter
+        counter = self._next_counter(job_id)
         ordered = sorted(worker_tables.items())
         with tracer.span("master.plain_gather", job=job_id, n=len(ordered)):
             lost = self._prefetch_tables(ordered)
             if lost:
                 ordered = [(worker, table) for worker, table in ordered if worker not in lost]
             merge_name = f"merge_{job_id}_{counter}"
-            self.database.execute(f"CREATE MERGE TABLE {merge_name} (transfer VARCHAR)")
-            for index, (worker, table) in enumerate(ordered):
-                remote_name = f"remote_{job_id}_{counter}_{index}"
-                self.database.execute(
-                    f"CREATE REMOTE TABLE {remote_name} (transfer VARCHAR) ON '{worker}/{table}'"
-                )
-                self.database.execute(f"ALTER TABLE {merge_name} ADD TABLE {remote_name}")
-            merged = self.database.query(f"SELECT * FROM {merge_name}")
+            with self._db_lock:
+                self.database.execute(f"CREATE MERGE TABLE {merge_name} (transfer VARCHAR)")
+                for index, (worker, table) in enumerate(ordered):
+                    remote_name = f"remote_{job_id}_{counter}_{index}"
+                    self.database.execute(
+                        f"CREATE REMOTE TABLE {remote_name} (transfer VARCHAR) ON '{worker}/{table}'"
+                    )
+                    self.database.execute(f"ALTER TABLE {merge_name} ADD TABLE {remote_name}")
+                merged = self.database.query(f"SELECT * FROM {merge_name}")
         self.audit.record(
             "plain_aggregate",
             job_id=job_id,
@@ -355,34 +369,35 @@ class Master:
     ) -> list[dict[str, str]]:
         """Run a global computation step on the master's own engine."""
         spec = udf_registry.get(udf_name)
-        application = generate_udf_application(spec, f"{job_id}_global", dict(arguments))
-        run_udf_application(self.database, application)
-        outputs = []
-        for table, iotype in zip(application.output_tables, application.output_kinds):
-            self._global_outputs[table] = iotype.kind
-            outputs.append({"table": table, "kind": iotype.kind})
+        with self._db_lock:
+            application = generate_udf_application(spec, f"{job_id}_global", dict(arguments))
+            run_udf_application(self.database, application)
+            outputs = []
+            for table, iotype in zip(application.output_tables, application.output_kinds):
+                self._global_outputs[table] = iotype.kind
+                outputs.append({"table": table, "kind": iotype.kind})
         return outputs
 
     def store_global_transfer(self, job_id: str, data: Mapping[str, Any]) -> str:
         """Materialize an aggregated dict as a transfer table on the master."""
-        with self._counter_lock:
-            self._remote_counter += 1
-            counter = self._remote_counter
+        counter = self._next_counter(job_id)
         table = f"transfer_{job_id}_{counter}"
-        self.database.execute(f"CREATE TABLE {table} (transfer VARCHAR)")
         blob = json.dumps(dict(data)).replace("'", "''")
-        self.database.execute(f"INSERT INTO {table} VALUES ('{blob}')")
-        self._global_outputs[table] = "transfer"
+        with self._db_lock:
+            self.database.execute(f"CREATE TABLE {table} (transfer VARCHAR)")
+            self.database.execute(f"INSERT INTO {table} VALUES ('{blob}')")
+            self._global_outputs[table] = "transfer"
         return table
 
     def read_transfer(self, table: str) -> dict[str, Any]:
         """Read a transfer table on the master."""
-        kind = self._global_outputs.get(table)
-        if kind is None:
-            raise FederationError(f"table {table!r} is not a known global output")
-        if kind not in ("transfer", "secure_transfer"):
-            raise FederationError(f"table {table!r} is a {kind!r}, not a transfer")
-        blob = self.database.scalar(f"SELECT * FROM {table}")
+        with self._db_lock:
+            kind = self._global_outputs.get(table)
+            if kind is None:
+                raise FederationError(f"table {table!r} is not a known global output")
+            if kind not in ("transfer", "secure_transfer"):
+                raise FederationError(f"table {table!r} is a {kind!r}, not a transfer")
+            blob = self.database.scalar(f"SELECT * FROM {table}")
         return json.loads(blob)
 
     def broadcast_transfer(self, job_id: str, table: str, workers: Sequence[str]) -> dict[str, str]:
@@ -392,7 +407,8 @@ class Master:
         workers lost during the broadcast are absent from the result so the
         caller can evict them from the flow.
         """
-        blob = self.database.scalar(f"SELECT * FROM {table}")
+        with self._db_lock:
+            blob = self.database.scalar(f"SELECT * FROM {table}")
         placed = {worker: f"bcast_{table}_{worker}" for worker in workers}
         with tracer.span("master.broadcast_transfer", table=table, n=len(workers)):
             responses, _lost = self._fan_out(
@@ -415,9 +431,17 @@ class Master:
         self.transport.broadcast(
             self.node_id, list(workers), "cleanup", {"job_id": job_id}, on_error="skip"
         )
-        for table in [t for t in self._global_outputs if job_id in t]:
-            self.database.drop_table(table, if_exists=True)
-            del self._global_outputs[table]
+        with self._db_lock:
+            for table in [t for t in self._global_outputs if job_id in t]:
+                self.database.drop_table(table, if_exists=True)
+                del self._global_outputs[table]
+        with self._counter_lock:
+            for key in [
+                k
+                for k in self._job_counters
+                if k == job_id or k.startswith(f"{job_id}_")
+            ]:
+                del self._job_counters[key]
 
     # ----------------------------------------------------------------- remote
 

@@ -31,6 +31,8 @@ benchmarking.
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import os
 import pickle
 import random
@@ -38,7 +40,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.errors import (
     FederationError,
@@ -60,6 +62,30 @@ MAX_POOL_SIZE = 32
 
 #: A (receiver, kind, payload) triple for :meth:`Transport.send_many`.
 Request = tuple[str, str, "dict[str, Any] | None"]
+
+#: The job id traffic in the current execution context is attributed to.
+#: Set by :func:`job_scope` in the thread driving an experiment; captured at
+#: the top of :meth:`Transport.send` / :meth:`Transport.send_many` (the
+#: caller's thread) and passed explicitly into pool threads, so per-job
+#: attribution is exact at any fan-out width.
+_CURRENT_JOB: contextvars.ContextVar["str | None"] = contextvars.ContextVar(
+    "repro_transport_job", default=None
+)
+
+
+@contextlib.contextmanager
+def job_scope(job_id: str) -> Iterator[None]:
+    """Attribute all transport traffic in this context to ``job_id``."""
+    token = _CURRENT_JOB.set(job_id)
+    try:
+        yield
+    finally:
+        _CURRENT_JOB.reset(token)
+
+
+def current_job() -> str | None:
+    """The job id the calling context attributes traffic to, if any."""
+    return _CURRENT_JOB.get()
 
 
 @dataclass
@@ -182,7 +208,14 @@ class Transport:
         self._stats_lock = threading.Lock()
         self.stats = TransportStats()
         self.link_stats: dict[tuple[str, str], TransportStats] = {}
+        # Per-job counters: traffic sent inside a job_scope() is additionally
+        # charged to that job's meter, so overlapping experiments each see
+        # exactly their own usage (the global counters keep the fleet view).
+        self._job_stats: dict[str, TransportStats] = {}
         self._executor: ThreadPoolExecutor | None = None
+        self._executor_width = 0
+        #: How many experiments may fan out at once; sizes the shared pool.
+        self._concurrent_jobs = 1
         self._executor_lock = threading.Lock()
 
     def register(self, node_id: str, handler: Handler) -> None:
@@ -203,6 +236,26 @@ class Transport:
         """A consistent copy of the aggregate counters."""
         with self._stats_lock:
             return self.stats.copy()
+
+    def job_stats(self, job_id: str) -> TransportStats:
+        """A consistent copy of one job's traffic counters (zeros if unseen)."""
+        with self._stats_lock:
+            stats = self._job_stats.get(job_id)
+            return stats.copy() if stats is not None else TransportStats()
+
+    def drop_job_stats(self, job_id: str) -> None:
+        """Forget a finished job's meter (attribution lives in its result)."""
+        with self._stats_lock:
+            self._job_stats.pop(job_id, None)
+
+    def _job_meter(self, job_id: str | None) -> TransportStats | None:
+        """The live per-job meter; callers must hold the stats lock."""
+        if job_id is None:
+            return None
+        meter = self._job_stats.get(job_id)
+        if meter is None:
+            meter = self._job_stats[job_id] = TransportStats()
+        return meter
 
     def link_snapshot(self) -> dict[tuple[str, str], TransportStats]:
         """Deep copies of the per-link counters.
@@ -230,12 +283,16 @@ class Transport:
 
     def send(self, sender: str, receiver: str, kind: str, payload: dict[str, Any] | None = None) -> dict[str, Any]:
         """Deliver one message (with retries) and return the response payload."""
+        job = current_job()
         with tracer.span("transport.send", receiver=receiver, kind=kind) as span:
             outcome, elapsed = self._run_schedule(
-                sender, receiver, kind, payload, self._draw_schedule(), span
+                sender, receiver, kind, payload, self._draw_schedule(), span, job
             )
         with self._stats_lock:
             self.stats.simulated_seconds += elapsed
+            meter = self._job_meter(job)
+            if meter is not None:
+                meter.simulated_seconds += elapsed
         if isinstance(outcome, BaseException):
             raise outcome
         return outcome
@@ -270,6 +327,7 @@ class Transport:
             raise FederationError(f"unknown on_error policy {on_error!r}")
         if not requests:
             return FanoutResult([], {}) if on_error == "skip" else []
+        job = current_job()
         schedules = [self._draw_schedule() for _ in requests]
         width = min(self.parallelism, len(requests))
         # The group span is opened in the caller's thread and handed to every
@@ -285,7 +343,7 @@ class Transport:
                 "transport.send", parent=group_span, receiver=receiver, kind=kind
             ) as span:
                 return self._run_schedule(
-                    sender, receiver, kind, payload, schedules[index], span
+                    sender, receiver, kind, payload, schedules[index], span, job
                 )
 
         with group_span:
@@ -298,6 +356,9 @@ class Transport:
                 clock = max(elapsed for _, elapsed in outcomes)
         with self._stats_lock:
             self.stats.simulated_seconds += clock
+            meter = self._job_meter(job)
+            if meter is not None:
+                meter.simulated_seconds += clock
         results = [outcome for outcome, _ in outcomes]
         if on_error == "raise":
             for result in results:
@@ -382,6 +443,7 @@ class Transport:
         payload: dict[str, Any] | None,
         schedule: _Schedule,
         span=None,
+        job: str | None = None,
     ) -> tuple[Any, float]:
         """One logical send: attempts + backoff under the retry policy.
 
@@ -401,23 +463,25 @@ class Transport:
         total = 0.0
         for attempt, dropped in enumerate(schedule.drops):
             try:
-                response, elapsed = self._send_one(sender, receiver, kind, payload, dropped)
+                response, elapsed = self._send_one(
+                    sender, receiver, kind, payload, dropped, job
+                )
             except Exception as exc:  # noqa: BLE001 - classified below
                 if not is_transient(exc):
-                    self._record_failed_send()
+                    self._record_failed_send(job)
                     span.set_error(f"{type(exc).__name__}: {exc}")
                     return exc, total
                 # A failed attempt still costs its timeout detection.
                 total += self.latency_seconds
                 final = attempt + 1 == len(schedule.drops)
                 if final:
-                    self._record_failed_send()
+                    self._record_failed_send(job)
                     span.set_attribute("retries", attempt)
                     span.set_error(f"{type(exc).__name__}: {exc}")
                     return exc, total
                 delay = policy.backoff_delay(attempt, schedule.jitters[attempt])
                 if deadline is not None and total + delay >= deadline:
-                    self._record_failed_send()
+                    self._record_failed_send(job)
                     timeout = FederationTimeoutError(
                         f"send {kind!r} to {receiver!r} exceeded its {deadline}s "
                         f"deadline after {attempt + 1} attempts"
@@ -429,12 +493,15 @@ class Transport:
                 total += delay
                 with self._stats_lock:
                     self.stats.retries += 1
+                    meter = self._job_meter(job)
+                    if meter is not None:
+                        meter.retries += 1
                 continue
             total += elapsed
             if attempt:
                 span.set_attribute("retries", attempt)
             if deadline is not None and total > deadline:
-                self._record_failed_send()
+                self._record_failed_send(job)
                 timeout = FederationTimeoutError(
                     f"response for {kind!r} from {receiver!r} arrived after "
                     f"the {deadline}s deadline"
@@ -444,15 +511,42 @@ class Transport:
             return response, total
         raise AssertionError("unreachable: schedule always resolves")
 
-    def _record_failed_send(self) -> None:
+    def _record_failed_send(self, job: str | None = None) -> None:
         with self._stats_lock:
             self.stats.failed_sends += 1
+            meter = self._job_meter(job)
+            if meter is not None:
+                meter.failed_sends += 1
+
+    def reserve_fanout_slots(self, concurrent_jobs: int) -> None:
+        """Size the shared fan-out pool for overlapping experiments.
+
+        One experiment needs ``parallelism`` pool threads for a full-width
+        fan-out; ``concurrent_jobs`` experiments dispatching at once need that
+        many times over, or their (really slept, under ``sleep_latency``)
+        sends queue behind each other and concurrency buys nothing.  The
+        experiment queue calls this with its executor-pool size.  An existing
+        smaller pool is retired (its in-flight work finishes on the old
+        threads) and lazily replaced by a wider one.
+        """
+        with self._executor_lock:
+            self._concurrent_jobs = max(self._concurrent_jobs, concurrent_jobs)
+            if self._executor is not None and self._executor_width < self._pool_width():
+                old = self._executor
+                self._executor = None
+                old.shutdown(wait=False)
+
+    def _pool_width(self) -> int:
+        return min(
+            MAX_POOL_SIZE, max(2, self.parallelism) * max(1, self._concurrent_jobs)
+        )
 
     def _ensure_executor(self) -> ThreadPoolExecutor:
         with self._executor_lock:
             if self._executor is None:
+                self._executor_width = self._pool_width()
                 self._executor = ThreadPoolExecutor(
-                    max_workers=min(MAX_POOL_SIZE, max(2, self.parallelism)),
+                    max_workers=self._executor_width,
                     thread_name_prefix="transport",
                 )
             return self._executor
@@ -464,6 +558,7 @@ class Transport:
         kind: str,
         payload: dict[str, Any] | None,
         dropped: bool,
+        job: str | None = None,
     ) -> tuple[dict[str, Any], float]:
         """One request/response exchange; returns (response, simulated s)."""
         handler = self._handlers.get(receiver)
@@ -477,18 +572,20 @@ class Transport:
             )
         message = Message(sender, receiver, kind, payload or {})
         size = _payload_size(message.payload)
-        elapsed = self._account(sender, receiver, size)
+        elapsed = self._account(sender, receiver, size, job)
         node_lock = self._node_locks[receiver]
         with node_lock:
             response = handler(message)
         if response is None:
             response = {}
-        elapsed += self._account(receiver, sender, _payload_size(response))
+        elapsed += self._account(receiver, sender, _payload_size(response), job)
         if self.sleep_latency and elapsed > 0:
             time.sleep(elapsed)
         return response, elapsed
 
-    def _account(self, sender: str, receiver: str, size: int) -> float:
+    def _account(
+        self, sender: str, receiver: str, size: int, job: str | None = None
+    ) -> float:
         """Meter one message; returns its modeled elapsed seconds.
 
         The *global* simulated clock is charged by the caller (sum for
@@ -505,6 +602,10 @@ class Transport:
             link.messages += 1
             link.bytes_sent += size
             link.simulated_seconds += elapsed
+            meter = self._job_meter(job)
+            if meter is not None:
+                meter.messages += 1
+                meter.bytes_sent += size
         return elapsed
 
 

@@ -18,6 +18,7 @@ partial noise, so no single node ever knows the total perturbation.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Literal, Mapping, Sequence
 
@@ -27,6 +28,7 @@ from repro.errors import SMPCError
 from repro.observability.trace import tracer
 from repro.smpc.encoding import FixedPointEncoder
 from repro.smpc.field import FieldVector
+from repro.smpc.protocol import CommunicationMeter
 from repro.smpc.protocol import FTProtocol, Protocol, ShamirProtocol
 
 SchemeName = Literal["shamir", "full_threshold"]
@@ -84,6 +86,13 @@ class SMPCCluster:
         self._jobs: dict[str, SecureComputationRequest] = {}
         self._results: dict[str, dict[str, Any]] = {}
         self._noise_rng = np.random.default_rng(seed)
+        # Protocol state (shares, MACs, the meter) is shared mutable state;
+        # concurrent experiments reach the cluster from separate executor
+        # threads, so imports and aggregations are serialized.  The lock
+        # also makes the before/after meter delta in aggregate() exact,
+        # which is what per-job attribution relies on.
+        self._lock = threading.RLock()
+        self._job_meters: dict[str, CommunicationMeter] = {}
 
     # ------------------------------------------------------------ job intake
 
@@ -97,7 +106,7 @@ class SMPCCluster:
         """
         with tracer.span(
             "smpc.import_shares", job=job_id, worker=worker_id, keys=len(payload)
-        ):
+        ), self._lock:
             job = self._jobs.setdefault(job_id, SecureComputationRequest(job_id))
             if worker_id in job.payloads:
                 raise SMPCError(
@@ -106,7 +115,8 @@ class SMPCCluster:
             job.payloads[worker_id] = {k: dict(v) for k, v in payload.items()}
 
     def has_job(self, job_id: str) -> bool:
-        return job_id in self._jobs or job_id in self._results
+        with self._lock:
+            return job_id in self._jobs or job_id in self._results
 
     def drop_worker(self, job_id: str, worker_id: str) -> bool:
         """Discard a (dead) worker's contribution before aggregation.
@@ -117,10 +127,11 @@ class SMPCCluster:
         :meth:`aggregate` time, so dropping a contribution re-splits the job
         over exactly the survivors.  Returns True if anything was removed.
         """
-        job = self._jobs.get(job_id)
-        if job is None:
-            return False
-        dropped = job.payloads.pop(worker_id, None) is not None
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return False
+            dropped = job.payloads.pop(worker_id, None) is not None
         if dropped:
             with tracer.span("smpc.drop_worker", job=job_id, worker=worker_id):
                 pass
@@ -128,12 +139,17 @@ class SMPCCluster:
 
     def abort_job(self, job_id: str) -> bool:
         """Forget a pending job (a failed flow cleaning up after itself)."""
-        return self._jobs.pop(job_id, None) is not None
+        with self._lock:
+            return self._jobs.pop(job_id, None) is not None
 
     # ------------------------------------------------------------ aggregation
 
     def aggregate(self, job_id: str, noise: NoiseSpec | None = None) -> dict[str, Any]:
         """Run the protocol for every key of a job and return plain results."""
+        with self._lock:
+            return self._aggregate_locked(job_id, noise)
+
+    def _aggregate_locked(self, job_id: str, noise: NoiseSpec | None) -> dict[str, Any]:
         if job_id in self._results:
             return self._results[job_id]
         job = self._jobs.get(job_id)
@@ -155,6 +171,7 @@ class SMPCCluster:
             scheme=self.scheme,
         ) as span:
             rounds_before = self.protocol.meter.rounds
+            elements_before = self.protocol.meter.elements
             for key in keys:
                 operations = {job.payloads[w][key]["operation"] for w in workers}
                 if len(operations) != 1:
@@ -169,6 +186,11 @@ class SMPCCluster:
                 with tracer.span("smpc.aggregate_key", key=key, operation=operation):
                     result[key] = self._aggregate_one(operation, flattened, noise)
             span.set_attribute("rounds", self.protocol.meter.rounds - rounds_before)
+        meter = self._job_meters.setdefault(job_id, CommunicationMeter())
+        meter.record(
+            rounds=self.protocol.meter.rounds - rounds_before,
+            elements=self.protocol.meter.elements - elements_before,
+        )
         self._results[job_id] = result
         del self._jobs[job_id]
         return result
@@ -226,6 +248,31 @@ class SMPCCluster:
     @property
     def communication(self):
         return self.protocol.meter
+
+    def job_communication(self, job_prefix: str) -> CommunicationMeter:
+        """Rounds/elements attributable to one job id prefix.
+
+        Cluster job ids are step-scoped (``{experiment}_s{n}_{param}``), so
+        querying with an experiment id sums every aggregation the experiment
+        triggered — the per-job view :class:`ExperimentTelemetry` reports,
+        exact even when experiments overlap.
+        """
+        total = CommunicationMeter()
+        with self._lock:
+            for job_id, meter in self._job_meters.items():
+                if job_id == job_prefix or job_id.startswith(f"{job_prefix}_"):
+                    total.record(rounds=meter.rounds, elements=meter.elements)
+        return total
+
+    def drop_job_meters(self, job_prefix: str) -> None:
+        """Forget a finished experiment's per-job meters (prefix match)."""
+        with self._lock:
+            for job_id in [
+                j
+                for j in self._job_meters
+                if j == job_prefix or j.startswith(f"{job_prefix}_")
+            ]:
+                del self._job_meters[job_id]
 
     @property
     def offline_usage(self):

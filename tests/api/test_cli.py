@@ -144,3 +144,54 @@ class TestObservabilityCommands:
         assert code == 0
         snapshot = json.loads(capsys.readouterr().out)
         assert snapshot["repro_transport_messages_total"] > 0
+
+
+class TestQueueCommands:
+    def test_submit_no_wait(self, capsys):
+        code = main([
+            "submit", "--algorithm", "ttest_onesample", "-y", "p_tau",
+            "--param", "mu=50", "--rows", "80", "--aggregation", "plain",
+            "--no-wait",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_id"].startswith("exp_")
+        assert payload["queue"]["submitted_total"] == 1
+
+    def test_submit_waits_by_default(self, capsys):
+        code = main([
+            "submit", "--algorithm", "ttest_onesample", "-y", "p_tau",
+            "--param", "mu=50", "--rows", "80", "--aggregation", "plain",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "success"
+        assert "t_statistic" in payload["result"]
+
+    def test_jobs_batch(self, capsys):
+        code = main([
+            "jobs", "--algorithm", "ttest_onesample", "-y", "p_tau",
+            "--param", "mu=50", "--rows", "80", "--aggregation", "plain",
+            "--repeat", "3", "--pool", "2",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["jobs"]) == 3
+        assert all(job["state"] == "success" for job in payload["jobs"])
+        assert payload["queue"]["pool_size"] == 2
+        # Per-job attribution: identical requests, identical telemetry.
+        messages = {entry["messages"] for entry in payload["telemetry"]}
+        assert len(messages) == 1
+
+    def test_cancel_batch(self, capsys):
+        code = main([
+            "cancel", "--algorithm", "ttest_onesample", "-y", "p_tau",
+            "--param", "mu=50", "--rows", "80", "--aggregation", "plain",
+            "--repeat", "3", "--pool", "1",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cancelled"] is True
+        assert payload["cancelled_job"]["status"] == "cancelled"
+        states = {job["state"] for job in payload["jobs"]}
+        assert "cancelled" in states

@@ -112,3 +112,71 @@ class TestExperimentLifecycle:
         )
         assert result.status.value == "success"
         assert len(result.result["centroids"]) == 3
+
+
+class TestAsyncSurface:
+    def test_submit_wait_poll(self, fresh_federation):
+        service = MIPService(fresh_federation, aggregation="plain", pool_size=2)
+        job_id = service.submit_experiment(
+            "ttest_onesample", "dementia", ["edsd"], y=["p_tau"],
+            parameters={"mu": 50.0},
+        )
+        assert isinstance(job_id, str) and job_id.startswith("exp_")
+        result = service.wait_experiment(job_id, timeout=120)
+        assert result.status.value == "success"
+        assert service.experiment(job_id) is result
+        jobs = service.jobs()
+        assert jobs and jobs[0]["job_id"] == job_id
+        assert jobs[0]["state"] == "success"
+
+    def test_cancel_experiment_unknown_id(self, fresh_federation):
+        from repro.errors import ExperimentNotFoundError
+
+        service = MIPService(fresh_federation)
+        with pytest.raises(ExperimentNotFoundError):
+            service.cancel_experiment("ghost")
+
+    def test_run_experiment_is_submit_plus_wait(self, fresh_federation):
+        service = MIPService(fresh_federation, aggregation="plain")
+        result = service.run_experiment(
+            "ttest_onesample", "dementia", ["edsd"], y=["p_tau"],
+            parameters={"mu": 50.0},
+        )
+        assert result.status.value == "success"
+        assert service.engine.queue.stats()["submitted_total"] == 1
+
+
+class TestQueueMetrics:
+    def test_registry_includes_queue_gauges(self, fresh_federation):
+        service = MIPService(fresh_federation, aggregation="plain", pool_size=3)
+        service.run_experiment(
+            "ttest_onesample", "dementia", ["edsd"], y=["p_tau"],
+            parameters={"mu": 50.0},
+        )
+        snapshot = service.metrics_snapshot()
+        assert snapshot["repro_queue_pool_size"] == 3.0
+        assert snapshot["repro_queue_submitted_total"] == 1.0
+        assert snapshot["repro_queue_succeeded_total"] == 1.0
+        assert snapshot["repro_queue_depth"] == 0.0
+        assert snapshot["repro_queue_running"] == 0.0
+        assert "repro_queue_depth" in service.render_metrics()
+
+    def test_status_includes_queue(self, fresh_federation):
+        service = MIPService(fresh_federation, aggregation="plain")
+        status = service.status()
+        assert status["queue"]["pool_size"] == 1
+        assert status["queue"]["depth"] == 0
+
+
+class TestStatusCaseloadGuard:
+    def test_status_survives_missing_model_table(self, fresh_federation):
+        """A worker advertising a model without a materialized table must
+        not crash the status endpoint (it contributes zero rows)."""
+        service = MIPService(fresh_federation, aggregation="plain")
+        worker = fresh_federation.workers["hospital_b"]
+        # Simulate deferred loading: the catalog entry exists, the table
+        # does not.
+        worker.database.drop_table("data_dementia", if_exists=True)
+        status = service.status()
+        assert status["caseload_rows"]["dementia"] >= 0
+        assert status["workers"]["hospital_b"] == "up"

@@ -4,7 +4,7 @@ import pytest
 
 import repro.algorithms  # noqa: F401
 from repro.core.experiment import ExperimentEngine, ExperimentRequest, ExperimentStatus
-from repro.errors import AlgorithmError
+from repro.errors import ExperimentNotFoundError
 
 
 @pytest.fixture()
@@ -90,7 +90,7 @@ class TestValidation:
         assert result.status == ExperimentStatus.ERROR
 
     def test_get_unknown_experiment(self, engine):
-        with pytest.raises(AlgorithmError):
+        with pytest.raises(ExperimentNotFoundError):
             engine.get("ghost")
 
 
@@ -123,3 +123,64 @@ class TestCleanup:
         assert result.status == ExperimentStatus.SUCCESS
         after = set(worker.database.table_names())
         assert after == before
+
+
+class TestConcurrentTelemetry:
+    """Acceptance criterion: two experiments running concurrently must each
+    report exactly the telemetry they report when run alone."""
+
+    @staticmethod
+    def _build_federation():
+        from repro.federation.controller import FederationConfig, create_federation
+        from tests.conftest import small_worker_data
+
+        return create_federation(
+            small_worker_data(),
+            FederationConfig(smpc_nodes=3, smpc_scheme="shamir", seed=77),
+        )
+
+    @staticmethod
+    def _requests():
+        return [
+            (
+                "exp_solo_a",
+                make_request(y=("lefthippocampus", "righthippocampus"),
+                             algorithm="pearson_correlation",
+                             datasets=("edsd", "adni", "ppmi"),
+                             parameters={}),
+            ),
+            (
+                "exp_solo_b",
+                make_request(y=("lefthippocampus",), x=("agevalue",),
+                             algorithm="linear_regression",
+                             datasets=("edsd", "adni", "ppmi"),
+                             parameters={}),
+            ),
+        ]
+
+    def test_concurrent_runs_match_solo_telemetry(self):
+        # Solo baselines, each on its own identically-seeded federation.
+        solo = {}
+        for experiment_id, request in self._requests():
+            engine = ExperimentEngine(self._build_federation())
+            try:
+                engine.submit(request, experiment_id=experiment_id)
+                result = engine.wait(experiment_id, timeout=120)
+                assert result.status is ExperimentStatus.SUCCESS
+                solo[experiment_id] = result.telemetry
+            finally:
+                engine.shutdown(wait=False)
+
+        # The same two requests overlapping in one federation at pool 2.
+        engine = ExperimentEngine(self._build_federation(), max_concurrent=2)
+        try:
+            for experiment_id, request in self._requests():
+                engine.submit(request, experiment_id=experiment_id)
+            for experiment_id, _ in self._requests():
+                result = engine.wait(experiment_id, timeout=120)
+                assert result.status is ExperimentStatus.SUCCESS
+                assert result.telemetry == solo[experiment_id], (
+                    f"{experiment_id}: concurrent telemetry leaked across jobs"
+                )
+        finally:
+            engine.shutdown(wait=False)

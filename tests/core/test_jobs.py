@@ -1,0 +1,292 @@
+"""The experiment job queue: states, priorities, admission, cancellation."""
+
+import threading
+import time
+
+import pytest
+
+import repro.algorithms  # noqa: F401
+from repro.core.algorithm import FederatedAlgorithm
+from repro.core.experiment import ExperimentEngine, ExperimentRequest, ExperimentStatus
+from repro.core.registry import algorithm_registry
+from repro.errors import (
+    ExperimentNotFoundError,
+    QueueFullError,
+)
+from repro.udfgen import relation, transfer, udf
+
+
+def make_request(**overrides):
+    defaults = dict(
+        algorithm="descriptive_stats",
+        data_model="dementia",
+        datasets=("edsd", "adni", "ppmi"),
+        y=("lefthippocampus",),
+    )
+    defaults.update(overrides)
+    return ExperimentRequest(**defaults)
+
+
+@pytest.fixture()
+def engine(federation):
+    eng = ExperimentEngine(federation)
+    yield eng
+    eng.shutdown(wait=False)
+
+
+class _Gate:
+    """Rendezvous used by the blocker algorithm below."""
+
+    entered = threading.Event()
+    release = threading.Event()
+
+    @classmethod
+    def reset(cls):
+        cls.entered = threading.Event()
+        cls.release = threading.Event()
+
+
+@udf(data=relation(), return_type=[transfer()])
+def _count_rows(data):
+    return {"n": int(len(data["dataset"]))}
+
+
+@pytest.fixture()
+def blocker_algorithm():
+    """Register a temporary algorithm that blocks between two flow steps."""
+
+    class Blocker(FederatedAlgorithm):
+        name = "test_blocker"
+        label = "Blocker"
+        needs_y = "required"
+        needs_x = "none"
+
+        def run(self):
+            handle = self.local_run(
+                func=_count_rows,
+                keyword_args={"data": self.data_view(["dataset"] + self.y, dropna=False)},
+                share_to_global=[True],
+            )
+            self.ctx.get_transfer_data(handle)
+            _Gate.entered.set()
+            _Gate.release.wait(timeout=30)
+            # Cooperative cancellation is observed at the next step boundary.
+            handle = self.local_run(
+                func=_count_rows,
+                keyword_args={"data": self.data_view(["dataset"] + self.y, dropna=False)},
+                share_to_global=[True],
+            )
+            self.ctx.get_transfer_data(handle)
+            return {"ok": True}
+
+    _Gate.reset()
+    algorithm_registry.register(Blocker)
+    yield Blocker
+    algorithm_registry._algorithms.pop("test_blocker", None)
+    _Gate.release.set()
+
+
+class TestQueueBasics:
+    def test_submit_returns_immediately_and_wait_resolves(self, engine):
+        job_id = engine.submit(make_request())
+        assert job_id.startswith("exp_")
+        result = engine.wait(job_id, timeout=60)
+        assert result.status is ExperimentStatus.SUCCESS
+        assert engine.get(job_id) is result
+
+    def test_run_is_submit_plus_wait(self, engine):
+        result = engine.run(make_request())
+        assert result.status is ExperimentStatus.SUCCESS
+        assert result.experiment_id in [s.job_id for s in engine.jobs()]
+
+    def test_job_snapshot_lifecycle(self, engine):
+        job_id = engine.submit(make_request())
+        engine.wait(job_id, timeout=60)
+        snapshot = engine.queue.job(job_id)
+        assert snapshot.state == "success"
+        assert snapshot.algorithm == "descriptive_stats"
+        assert snapshot.wait_seconds is not None
+        assert snapshot.elapsed_seconds is not None
+        assert snapshot.to_dict()["job_id"] == job_id
+
+    def test_unknown_ids_raise_not_found(self, engine):
+        with pytest.raises(ExperimentNotFoundError):
+            engine.get("ghost")
+        with pytest.raises(ExperimentNotFoundError):
+            engine.wait("ghost")
+        with pytest.raises(ExperimentNotFoundError):
+            engine.cancel("ghost")
+        with pytest.raises(ExperimentNotFoundError):
+            engine.queue.job("ghost")
+
+    def test_duplicate_submission_rejected(self, engine):
+        engine.submit(make_request(), experiment_id="exp_pinned")
+        with pytest.raises(QueueFullError):
+            engine.submit(make_request(), experiment_id="exp_pinned")
+        engine.wait("exp_pinned", timeout=60)
+
+    def test_error_flow_lands_in_history(self, engine):
+        job_id = engine.submit(make_request(algorithm="descriptive_stats", y=()))
+        result = engine.wait(job_id, timeout=60)
+        assert result.status is ExperimentStatus.ERROR
+        assert "SpecificationError" in result.error
+        assert engine.queue.job(job_id).state == "error"
+
+    def test_stats_counts(self, engine):
+        engine.run(make_request())
+        engine.run(make_request(y=()))
+        stats = engine.queue.stats()
+        assert stats["submitted_total"] == 2
+        assert stats["succeeded_total"] == 1
+        assert stats["failed_total"] == 1
+        assert stats["depth"] == 0
+        assert stats["running"] == 0
+
+
+class TestPriorityAndAdmission:
+    def test_higher_priority_dispatches_first(self, fresh_federation, blocker_algorithm):
+        engine = ExperimentEngine(fresh_federation, max_concurrent=1)
+        try:
+            blocker_id = engine.submit(make_request(algorithm="test_blocker"))
+            assert _Gate.entered.wait(timeout=30)
+            # The executor is busy: these queue up and must dispatch by
+            # priority, not submission order.
+            low = engine.submit(make_request(name="low"), priority=0)
+            high = engine.submit(make_request(name="high"), priority=5)
+            _Gate.release.set()
+            engine.wait(blocker_id, timeout=60)
+            engine.wait(low, timeout=60)
+            engine.wait(high, timeout=60)
+            jobs = {s.job_id: s for s in engine.jobs()}
+            assert jobs[high].wait_seconds < jobs[low].wait_seconds
+        finally:
+            _Gate.release.set()
+            engine.shutdown(wait=False)
+
+    def test_admission_control_rejects_overflow(self, fresh_federation, blocker_algorithm):
+        engine = ExperimentEngine(fresh_federation, max_concurrent=1, max_queued=2)
+        try:
+            blocker_id = engine.submit(make_request(algorithm="test_blocker"))
+            assert _Gate.entered.wait(timeout=30)
+            engine.submit(make_request(name="q1"))
+            engine.submit(make_request(name="q2"))
+            with pytest.raises(QueueFullError, match="queue full"):
+                engine.submit(make_request(name="overflow"))
+            _Gate.release.set()
+            engine.wait(blocker_id, timeout=60)
+        finally:
+            _Gate.release.set()
+            engine.shutdown(wait=False)
+
+    def test_wait_timeout(self, fresh_federation, blocker_algorithm):
+        engine = ExperimentEngine(fresh_federation, max_concurrent=1)
+        try:
+            job_id = engine.submit(make_request(algorithm="test_blocker"))
+            assert _Gate.entered.wait(timeout=30)
+            with pytest.raises(TimeoutError):
+                engine.wait(job_id, timeout=0.05)
+            _Gate.release.set()
+            result = engine.wait(job_id, timeout=60)
+            assert result.status is ExperimentStatus.SUCCESS
+        finally:
+            _Gate.release.set()
+            engine.shutdown(wait=False)
+
+
+class TestCancellation:
+    def test_pre_dispatch_cancel_is_guaranteed(self, fresh_federation, blocker_algorithm):
+        engine = ExperimentEngine(fresh_federation, max_concurrent=1)
+        try:
+            blocker_id = engine.submit(make_request(algorithm="test_blocker"))
+            assert _Gate.entered.wait(timeout=30)
+            queued_id = engine.submit(make_request(name="victim"))
+            assert engine.cancel(queued_id) is True
+            # The result exists immediately, without waiting for dispatch.
+            result = engine.get(queued_id)
+            assert result.status is ExperimentStatus.CANCELLED
+            assert "before dispatch" in result.error
+            assert engine.queue.job(queued_id).state == "cancelled"
+            _Gate.release.set()
+            engine.wait(blocker_id, timeout=60)
+            # The tombstone must not have consumed the executor.
+            follow_up = engine.run(make_request(name="after"))
+            assert follow_up.status is ExperimentStatus.SUCCESS
+        finally:
+            _Gate.release.set()
+            engine.shutdown(wait=False)
+
+    def test_mid_flow_cancel_is_cooperative(self, fresh_federation, blocker_algorithm):
+        engine = ExperimentEngine(fresh_federation, max_concurrent=1)
+        try:
+            job_id = engine.submit(make_request(algorithm="test_blocker"))
+            assert _Gate.entered.wait(timeout=30)
+            assert engine.cancel(job_id) is True
+            _Gate.release.set()
+            result = engine.wait(job_id, timeout=60)
+            assert result.status is ExperimentStatus.CANCELLED
+            assert "cancelled mid-flow" in result.error
+            # The flow got as far as its first step before cancelling.
+            assert result.workers
+        finally:
+            _Gate.release.set()
+            engine.shutdown(wait=False)
+
+    def test_cancel_finished_job_returns_false(self, engine):
+        result = engine.run(make_request())
+        assert engine.cancel(result.experiment_id) is False
+
+    def test_cancelled_audit_event_recorded(self, fresh_federation, blocker_algorithm):
+        engine = ExperimentEngine(fresh_federation, max_concurrent=1)
+        try:
+            blocker_id = engine.submit(make_request(algorithm="test_blocker"))
+            assert _Gate.entered.wait(timeout=30)
+            queued_id = engine.submit(make_request())
+            engine.cancel(queued_id)
+            events = fresh_federation.master.audit.events(
+                job_id=queued_id, event="experiment_cancelled"
+            )
+            assert events and events[0].details["pre_dispatch"] is True
+            _Gate.release.set()
+            engine.wait(blocker_id, timeout=60)
+        finally:
+            _Gate.release.set()
+            engine.shutdown(wait=False)
+
+
+class TestConcurrentExecution:
+    def test_pool_runs_jobs_concurrently(self, fresh_federation):
+        engine = ExperimentEngine(fresh_federation, max_concurrent=3)
+        try:
+            ids = [engine.submit(make_request(name=f"j{i}")) for i in range(3)]
+            results = [engine.wait(job_id, timeout=120) for job_id in ids]
+            assert all(r.status is ExperimentStatus.SUCCESS for r in results)
+            # All three must have been dispatched nearly immediately.
+            for snapshot in engine.jobs():
+                assert snapshot.wait_seconds < 1.0
+        finally:
+            engine.shutdown(wait=False)
+
+    def test_unhandled_exception_reraised_in_wait(self, fresh_federation):
+        class Exploder(FederatedAlgorithm):
+            name = "test_exploder"
+            label = "Exploder"
+            needs_y = "none"
+            needs_x = "none"
+
+            def run(self):
+                raise ZeroDivisionError("boom")
+
+        algorithm_registry.register(Exploder)
+        engine = ExperimentEngine(fresh_federation)
+        try:
+            job_id = engine.submit(make_request(algorithm="test_exploder", y=()))
+            with pytest.raises(ZeroDivisionError):
+                engine.wait(job_id, timeout=60)
+            # The executor thread survived and keeps serving.
+            ok = engine.run(make_request())
+            assert ok.status is ExperimentStatus.SUCCESS
+            # The failure is still visible to pollers.
+            assert engine.get(job_id).status is ExperimentStatus.ERROR
+        finally:
+            algorithm_registry._algorithms.pop("test_exploder", None)
+            engine.shutdown(wait=False)
