@@ -332,14 +332,44 @@ def execute_select(select: ast.Select, database: "Database") -> Table:
 
 
 def _distinct(result: Table) -> Table:
-    """Keep the first occurrence of each row tuple (SELECT DISTINCT)."""
-    seen: set[tuple] = set()
-    keep: list[int] = []
-    for index, row in enumerate(result.rows()):
-        if row not in seen:
-            seen.add(row)
-            keep.append(index)
-    return result.take(np.array(keep, dtype=np.int64))
+    """Keep the first occurrence of each row tuple (SELECT DISTINCT).
+
+    Vectorized: rows are factorized into an integer code matrix and
+    deduplicated with one ``np.unique(axis=0)`` pass instead of hashing a
+    Python tuple per row.  First-occurrence order is preserved (the unique
+    indices are re-sorted into row order).
+    """
+    if result.num_rows <= 1:
+        return result
+    codes = np.column_stack([_column_codes(column) for column in result.columns])
+    _, first = np.unique(codes, axis=0, return_index=True)
+    first.sort()
+    return result.take(first.astype(np.int64))
+
+
+def _column_codes(column: Column) -> np.ndarray:
+    """Row-equality codes for one column: equal row values (by the Python
+    tuple semantics ``_distinct`` historically used) get equal codes.
+
+    NULLs all share code 0 (``None == None`` dedupes).  REAL NaNs each get a
+    fresh code because ``float("nan") != float("nan")`` kept every NaN row
+    distinct in the row-tuple reference.
+    """
+    values = column.values
+    if column.sql_type == SQLType.VARCHAR:
+        _, inverse = np.unique(values.astype(str), return_inverse=True)
+        codes = inverse.astype(np.int64) + 1
+    elif column.sql_type == SQLType.REAL:
+        uniques, inverse = np.unique(values, return_inverse=True)
+        codes = inverse.astype(np.int64) + 1
+        nan_mask = np.isnan(values)
+        if nan_mask.any():
+            codes[nan_mask] = len(uniques) + 1 + np.arange(int(nan_mask.sum()))
+    else:  # INT / BOOL
+        _, inverse = np.unique(values, return_inverse=True)
+        codes = inverse.astype(np.int64) + 1
+    codes[column.nulls] = 0
+    return codes
 
 
 def _has_aggregates(select: ast.Select) -> bool:
@@ -706,9 +736,114 @@ def _equi_pair(expression: ast.Expression, left: Table, right: Table):
     return None
 
 
+#: Above this magnitude an int64 does not round-trip through float64, so the
+#: joint int/real key factorization could conflate distinct keys.
+_EXACT_FLOAT_INT = 1 << 53
+
+_EMPTY_INDICES = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+
+
 def _hash_join_indices(left: Table, right: Table, keys: list[tuple[str, str]]):
+    """Matching (left_idx, right_idx) pairs for an equi-join.
+
+    Vectorized: both sides' key rows are factorized into one shared integer
+    code space, the right side is stably sorted by code, and each left row
+    gathers its match range with two ``searchsorted`` calls.  Output order
+    matches the historical nested-loop build: left row-major, right rows
+    ascending within each left row.  NULL (and NaN) keys never match.
+    """
     left_columns = [resolve_column(left, l) for l, _ in keys]
     right_columns = [resolve_column(right, r) for _, r in keys]
+    left_valid = np.ones(left.num_rows, dtype=bool)
+    right_valid = np.ones(right.num_rows, dtype=bool)
+    merged_codes = []
+    for lcol, rcol in zip(left_columns, right_columns):
+        merged = _merged_key_values(lcol, rcol)
+        if merged is None:  # incomparable types: no key can ever match
+            return _EMPTY_INDICES
+        if merged is _PYTHON_FALLBACK:
+            return _hash_join_indices_python(left, right, left_columns, right_columns)
+        left_valid &= ~lcol.nulls
+        right_valid &= ~rcol.nulls
+        if merged.dtype == np.float64:
+            nan_mask = np.isnan(merged)
+            left_valid &= ~nan_mask[: left.num_rows]
+            right_valid &= ~nan_mask[left.num_rows :]
+        _, inverse = np.unique(merged, return_inverse=True)
+        merged_codes.append(inverse.astype(np.int64))
+    if not np.any(left_valid) or not np.any(right_valid):
+        return _EMPTY_INDICES
+    _, row_codes = np.unique(
+        np.column_stack(merged_codes), axis=0, return_inverse=True
+    )
+    row_codes = row_codes.astype(np.int64)
+    left_rows = np.flatnonzero(left_valid)
+    right_rows = np.flatnonzero(right_valid)
+    left_codes = row_codes[: left.num_rows][left_rows]
+    right_codes = row_codes[left.num_rows :][right_rows]
+    # Stable sort groups equal right keys while keeping row order within a
+    # group — the bucket-append order the nested-loop build produced.
+    order = np.argsort(right_codes, kind="stable")
+    sorted_codes = right_codes[order]
+    starts = np.searchsorted(sorted_codes, left_codes, side="left")
+    ends = np.searchsorted(sorted_codes, left_codes, side="right")
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY_INDICES
+    left_idx = np.repeat(left_rows, counts)
+    # Positions within sorted_codes: each left row's [start, end) range,
+    # laid out contiguously.
+    span_offsets = np.cumsum(counts) - counts
+    positions = np.arange(total) - np.repeat(span_offsets, counts) + np.repeat(starts, counts)
+    right_idx = right_rows[order][positions]
+    return left_idx, right_idx
+
+
+class _PythonFallback:
+    pass
+
+
+_PYTHON_FALLBACK = _PythonFallback()
+
+
+def _merged_key_values(lcol: Column, rcol: Column):
+    """Concatenated (left then right) key values in one comparable dtype.
+
+    Returns ``None`` when the types can never compare equal (string vs
+    numeric), and ``_PYTHON_FALLBACK`` when exactness would be lost (int/real
+    keys with values past 2**53, where Python's exact ``int == float`` and a
+    float64 cast disagree).
+    """
+    l_str = lcol.sql_type == SQLType.VARCHAR
+    r_str = rcol.sql_type == SQLType.VARCHAR
+    if l_str != r_str:
+        return None
+    if l_str:
+        return np.concatenate([lcol.values.astype(str), rcol.values.astype(str)])
+    if lcol.sql_type == rcol.sql_type or SQLType.REAL not in (
+        lcol.sql_type,
+        rcol.sql_type,
+    ):
+        # Same type, or int/bool mix: concatenation promotes exactly.
+        return np.concatenate([lcol.values, rcol.values])
+    for col in (lcol, rcol):
+        if col.sql_type == SQLType.INT and np.any(
+            np.abs(col.values[~col.nulls]) > _EXACT_FLOAT_INT
+        ):
+            return _PYTHON_FALLBACK
+    return np.concatenate(
+        [lcol.values.astype(np.float64), rcol.values.astype(np.float64)]
+    )
+
+
+def _hash_join_indices_python(
+    left: Table,
+    right: Table,
+    left_columns: list[Column],
+    right_columns: list[Column],
+):
+    """Row-at-a-time reference build (exact mixed int/real key equality)."""
     buckets: dict[tuple, list[int]] = {}
     for row in range(right.num_rows):
         key = tuple(col[row] for col in right_columns)

@@ -88,6 +88,7 @@ class Federation:
             stats = transport.snapshot()
             yield ("repro_transport_messages_total", {}, float(stats.messages))
             yield ("repro_transport_bytes_sent_total", {}, float(stats.bytes_sent))
+            yield ("repro_transport_payload_elements_total", {}, float(stats.payload_elements))
             yield ("repro_transport_simulated_seconds_total", {}, stats.simulated_seconds)
             yield ("repro_transport_retries_total", {}, float(stats.retries))
             yield ("repro_transport_failed_sends_total", {}, float(stats.failed_sends))

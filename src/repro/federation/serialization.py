@@ -1,22 +1,73 @@
-"""Table <-> payload serialization for transport messages."""
+"""Table <-> payload serialization for transport messages.
+
+Wire format v2 (``columnar-v1`` tag) ships each table as a dict of typed
+value lists plus per-column null masks — one ``.tolist()`` per column
+instead of a Python tuple per row, so encode/decode cost scales with the
+number of columns, not the number of cells.  ``table_from_payload`` still
+decodes the original row-major format for mixed-version deployments.
+"""
 
 from __future__ import annotations
 
 from typing import Any
 
+import numpy as np
+
 from repro.engine.table import ColumnSpec, Schema, Table
 from repro.engine.types import SQLType
 
+#: Version tag carried in every columnar payload.  Payloads without a
+#: ``format`` key are the legacy row-major format.
+COLUMNAR_FORMAT = "columnar-v1"
+
 
 def table_to_payload(table: Table) -> dict[str, Any]:
-    """Serialize a table into a plain-dict wire format."""
+    """Serialize a table into the columnar wire format."""
+    values: dict[str, list[Any]] = {}
+    nulls: dict[str, list[bool]] = {}
+    for spec, column in zip(table.schema, table.columns):
+        values[spec.name] = column.values.tolist()
+        nulls[spec.name] = column.nulls.tolist()
     return {
+        "format": COLUMNAR_FORMAT,
         "columns": [(spec.name, spec.sql_type.value) for spec in table.schema],
-        "rows": table.to_rows(),
+        "values": values,
+        "nulls": nulls,
     }
 
 
 def table_from_payload(payload: dict[str, Any]) -> Table:
-    """Rebuild a table from the wire format."""
-    specs = [ColumnSpec(name, SQLType.from_name(type_name)) for name, type_name in payload["columns"]]
-    return Table.from_rows(Schema(specs), payload["rows"])
+    """Rebuild a table from either wire format (columnar or legacy rows)."""
+    specs = [
+        ColumnSpec(name, SQLType.from_name(type_name))
+        for name, type_name in payload["columns"]
+    ]
+    schema = Schema(specs)
+    if payload.get("format") == COLUMNAR_FORMAT:
+        from repro.engine.column import Column
+
+        columns = []
+        for spec in specs:
+            array = np.asarray(
+                payload["values"][spec.name], dtype=spec.sql_type.numpy_dtype
+            )
+            mask = np.asarray(payload["nulls"][spec.name], dtype=bool)
+            columns.append(Column.from_numpy(spec.sql_type, array, mask))
+        return Table(schema, columns)
+    return Table.from_rows(schema, payload["rows"])
+
+
+def payload_elements(payload: Any) -> int:
+    """Count the table cells a message payload carries (0 for non-tables).
+
+    Recognizes both wire formats at any nesting depth, so the transport can
+    meter element counts without knowing which message kinds ship tables.
+    """
+    if not isinstance(payload, dict):
+        return 0
+    if "columns" in payload:
+        if payload.get("format") == COLUMNAR_FORMAT:
+            return sum(len(column) for column in payload["values"].values())
+        if "rows" in payload:
+            return len(payload["rows"]) * len(payload["columns"])
+    return sum(payload_elements(value) for value in payload.values())

@@ -50,6 +50,7 @@ from repro.errors import (
 )
 from repro.federation.messages import Message
 from repro.federation.policy import RetryPolicy
+from repro.federation.serialization import payload_elements
 from repro.observability.trace import tracer
 
 Handler = Callable[[Message], dict[str, Any]]
@@ -102,6 +103,8 @@ class TransportStats:
     simulated_seconds: float = 0.0
     retries: int = 0
     failed_sends: int = 0
+    #: Table cells carried by metered payloads (both wire formats).
+    payload_elements: int = 0
 
     def reset(self) -> None:
         self.messages = 0
@@ -109,6 +112,7 @@ class TransportStats:
         self.simulated_seconds = 0.0
         self.retries = 0
         self.failed_sends = 0
+        self.payload_elements = 0
 
     def copy(self) -> "TransportStats":
         """An independent copy; mutating it never touches live counters."""
@@ -118,6 +122,7 @@ class TransportStats:
             self.simulated_seconds,
             self.retries,
             self.failed_sends,
+            self.payload_elements,
         )
 
 
@@ -572,19 +577,28 @@ class Transport:
             )
         message = Message(sender, receiver, kind, payload or {})
         size = _payload_size(message.payload)
-        elapsed = self._account(sender, receiver, size, job)
+        elapsed = self._account(
+            sender, receiver, size, job, payload_elements(message.payload)
+        )
         node_lock = self._node_locks[receiver]
         with node_lock:
             response = handler(message)
         if response is None:
             response = {}
-        elapsed += self._account(receiver, sender, _payload_size(response), job)
+        elapsed += self._account(
+            receiver, sender, _payload_size(response), job, payload_elements(response)
+        )
         if self.sleep_latency and elapsed > 0:
             time.sleep(elapsed)
         return response, elapsed
 
     def _account(
-        self, sender: str, receiver: str, size: int, job: str | None = None
+        self,
+        sender: str,
+        receiver: str,
+        size: int,
+        job: str | None = None,
+        elements: int = 0,
     ) -> float:
         """Meter one message; returns its modeled elapsed seconds.
 
@@ -596,16 +610,19 @@ class Transport:
         with self._stats_lock:
             self.stats.messages += 1
             self.stats.bytes_sent += size
+            self.stats.payload_elements += elements
             link = self.link_stats.get((sender, receiver))
             if link is None:
                 link = self.link_stats[(sender, receiver)] = TransportStats()
             link.messages += 1
             link.bytes_sent += size
             link.simulated_seconds += elapsed
+            link.payload_elements += elements
             meter = self._job_meter(job)
             if meter is not None:
                 meter.messages += 1
                 meter.bytes_sent += size
+                meter.payload_elements += elements
         return elapsed
 
 

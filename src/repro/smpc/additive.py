@@ -102,7 +102,7 @@ def check_macs(shared: AdditiveShared, opened: FieldVector, alpha_shares: Sequen
     for mac_share, alpha_share in zip(shared.macs, alpha_shares):
         sigma = mac_share - opened.scale(alpha_share)
         sigma_total = sigma_total + sigma
-    if any(value != 0 for value in sigma_total.elements):
+    if not sigma_total.is_zero():
         raise IntegrityError("MAC check failed: opened value was tampered with")
 
 
@@ -147,6 +147,6 @@ def public_to_shared(
 ) -> AdditiveShared:
     """Deterministic sharing of a public constant (share = value at party 0)."""
     shares = [FieldVector.zeros(len(public)) for _ in range(n_parties)]
-    shares[0] = FieldVector(list(public.elements))
+    shares[0] = public.copy()
     macs = [public.scale(alpha_i) for alpha_i in alpha_shares]
     return AdditiveShared(shares, macs)

@@ -27,7 +27,7 @@ import numpy as np
 from repro.errors import SMPCError
 from repro.observability.trace import tracer
 from repro.smpc.encoding import FixedPointEncoder
-from repro.smpc.field import FieldVector
+from repro.smpc.field import active_kernel
 from repro.smpc.protocol import CommunicationMeter
 from repro.smpc.protocol import FTProtocol, Protocol, ShamirProtocol
 
@@ -61,7 +61,7 @@ class SecureComputationRequest:
 
 @dataclass(frozen=True)
 class _Flattened:
-    values: list[float]
+    values: np.ndarray  # 1-D float64
     shape: tuple[int, ...] | None  # None for a scalar
 
 
@@ -169,6 +169,7 @@ class SMPCCluster:
             workers=len(workers),
             keys=len(keys),
             scheme=self.scheme,
+            kernel=active_kernel(),
         ) as span:
             rounds_before = self.protocol.meter.rounds
             elements_before = self.protocol.meter.elements
@@ -210,10 +211,10 @@ class SMPCCluster:
         encoded_inputs = []
         for item in inputs:
             if integer_mode:
-                elements = [encoder.encode_int(int(round(v))) for v in item.values]
+                encoded = encoder.encode_ints_to_field_vector(item.values)
             else:
-                elements = encoder.encode_vector(item.values)
-            encoded_inputs.append(protocol.input_vector(FieldVector(elements)))
+                encoded = encoder.encode_to_field_vector(item.values)
+            encoded_inputs.append(protocol.input_vector(encoded))
         if operation == "sum":
             combined = protocol.sum_inputs(encoded_inputs)
         elif operation == "product":
@@ -230,16 +231,16 @@ class SMPCCluster:
             combined = self._inject_noise(combined, noise, len(inputs[0].values))
         opened = protocol.open(combined)
         if integer_mode:
-            values = np.array([encoder.decode_int(e) for e in opened.elements], dtype=np.int64)
+            values = np.asarray(encoder.decode_ints_from_field_vector(opened), dtype=np.int64)
         else:
-            values = encoder.decode_vector(opened.elements)
+            values = encoder.decode_field_vector(opened)
         return _unflatten(values, inputs[0].shape, integer_mode)
 
     def _inject_noise(self, combined, noise: NoiseSpec, length: int):
         protocol = self.protocol
         for _ in range(self.n_nodes):
             partial = noise.partial(self._noise_rng, self.n_nodes, length)
-            encoded = FieldVector(protocol.encoder.encode_vector(partial))
+            encoded = protocol.encoder.encode_to_field_vector(partial)
             combined = protocol.add(combined, protocol.input_vector(encoded))
         return combined
 
@@ -281,9 +282,9 @@ class SMPCCluster:
 
 def _flatten(data: Any) -> _Flattened:
     if isinstance(data, (int, float, np.integer, np.floating)):
-        return _Flattened([float(data)], None)
+        return _Flattened(np.array([float(data)], dtype=np.float64), None)
     array = np.asarray(data, dtype=np.float64)
-    return _Flattened([float(v) for v in array.ravel()], array.shape)
+    return _Flattened(array.ravel(), array.shape)
 
 
 def _unflatten(values: np.ndarray, shape: tuple[int, ...] | None, integer_mode: bool) -> Any:

@@ -14,7 +14,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import SMPCError
-from repro.smpc.field import PRIME
+from repro.smpc import limb
+from repro.smpc.field import PRIME, FieldVector
 
 #: Default fractional bits.
 DEFAULT_FRACTIONAL_BITS = 16
@@ -67,6 +68,69 @@ class FixedPointEncoder:
 
     def decode_vector(self, elements: Sequence[int]) -> np.ndarray:
         return np.array([self.decode(e) for e in elements], dtype=np.float64)
+
+    def encode_to_field_vector(self, values: Sequence[float] | np.ndarray) -> FieldVector:
+        """Vectorized :meth:`encode` of a whole array into a FieldVector.
+
+        Bit-exact with the scalar path: the scale is a power of two, so the
+        float multiply is an exact exponent shift and ``np.rint`` applies the
+        same round-half-even rule as Python's ``round``.  Non-finite inputs
+        or magnitudes at 2^62 and beyond take the scalar reference path so
+        range errors surface identically.
+        """
+        array = np.asarray(values, dtype=np.float64).ravel()
+        scaled = array * self.scale
+        limit = float(min(self.bound, limb.INT64_BOUND))
+        if array.size and np.all(np.isfinite(scaled)):
+            rounded = np.rint(scaled)
+            if np.all(np.abs(rounded) < limit):
+                return FieldVector.from_signed_int64(rounded.astype(np.int64))
+        return FieldVector(self.encode_vector(array))
+
+    def decode_field_vector(self, vector: FieldVector) -> np.ndarray:
+        """Vectorized :meth:`decode` of an opened FieldVector.
+
+        Uses the centered signed-int64 view when every magnitude is below
+        2^62 (always true for in-range statistics); division by the
+        power-of-two scale is an exact exponent shift, so results match the
+        scalar decode bit for bit.  Falls back to the scalar path otherwise.
+        """
+        signed = vector.to_signed_int64()
+        if signed is None:
+            return self.decode_vector(vector.elements)
+        return signed.astype(np.float64) / self.scale
+
+    def encode_ints_to_field_vector(self, values: Sequence[int] | np.ndarray) -> FieldVector:
+        """Vectorized ``encode_int(int(round(v)))`` (counts and unions).
+
+        Float inputs are rounded half-even like the scalar ``round``;
+        out-of-int64-range or non-finite inputs fall back to the scalar path
+        so errors surface identically.
+        """
+        array = np.asarray(values).ravel()
+        limit = min(self.bound, limb.INT64_BOUND)
+        if array.size and np.issubdtype(array.dtype, np.floating):
+            rounded = np.rint(array)
+            with np.errstate(invalid="ignore"):
+                small = np.isfinite(rounded) & (np.abs(rounded) < float(limit))
+            if np.all(small):
+                return FieldVector.from_signed_int64(rounded.astype(np.int64))
+        elif (
+            array.size
+            and np.issubdtype(array.dtype, np.integer)
+            and np.all(np.abs(array) < limit)
+        ):
+            return FieldVector.from_signed_int64(array.astype(np.int64))
+        if array.size and np.issubdtype(array.dtype, np.floating):
+            return FieldVector([self.encode_int(int(round(float(v)))) for v in array])
+        return FieldVector([self.encode_int(int(v)) for v in array])
+
+    def decode_ints_from_field_vector(self, vector: FieldVector) -> np.ndarray | list[int]:
+        """Vectorized :meth:`decode_int` of an opened FieldVector."""
+        signed = vector.to_signed_int64()
+        if signed is None:
+            return [self.decode_int(e) for e in vector.elements]
+        return signed
 
     def encode_int(self, value: int) -> int:
         """Encode an integer without scaling (for counts and unions)."""

@@ -6,20 +6,97 @@ wide enough for second-moment sums over national-scale caseloads) plus the
 statistical-masking bits that secure comparison and truncation need,
 matching the parameter regime of real SPDZ deployments.
 
-Vectors of field elements are plain Python-int lists wrapped in
-:class:`FieldVector`; element width exceeds what int64 numpy arrays can
-multiply without overflow, and correctness beats vectorization here.
+Two interchangeable kernels implement the vector arithmetic:
+
+* ``python`` — plain Python-int lists, the reference implementation.  Every
+  operation is a transparent one-liner; differential tests hold the fast
+  kernel to byte-exact agreement with it.
+* ``numpy`` — ``(N, 5)`` int64 limb arrays with Mersenne folding
+  (:mod:`repro.smpc.limb`), the hot path for national-scale vectors.
+
+Selection: ``REPRO_SMPC_KERNEL=python|numpy|auto`` in the environment, or
+:func:`set_kernel` for programmatic override (tests).  The default ``auto``
+routes each operation by vector length (:data:`NUMPY_MIN_ELEMENTS`): bulk
+aggregation vectors take the limb kernel, the short vectors inside
+bit-decomposed comparison protocols stay on Python bignums, which beat
+numpy's fixed dispatch cost at that size.  Both kernels produce
+identical field elements for identical inputs — arithmetic in Z_p is exact —
+and :meth:`FieldVector.random` consumes the seeded RNG stream identically
+under either, so seeded runs are kernel-independent end to end.
+
+A :class:`FieldVector` caches both representations and converts lazily;
+accessing the public ``elements`` list invalidates the limb cache because
+callers may mutate the list they receive.
 """
 
 from __future__ import annotations
 
+import os
 import random
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.errors import SMPCError
+from repro.smpc import limb
 
 #: The field modulus (Mersenne prime 2^127 - 1).
 PRIME = (1 << 127) - 1
+
+#: Environment variable selecting the vector kernel.
+KERNEL_ENV = "REPRO_SMPC_KERNEL"
+
+_KERNELS = ("python", "numpy", "auto")
+_kernel_override: str | None = None
+
+#: In ``auto`` mode, vectors shorter than this use the python path: the limb
+#: kernel's fixed per-op dispatch cost (~tens of numpy calls per reduction)
+#: beats Python bignums only once a few hundred elements amortize it.  The
+#: bit-decomposed comparison protocols live below this line; bulk secure
+#: sums live far above it.  Results are identical either way.
+NUMPY_MIN_ELEMENTS = 512
+
+
+def set_kernel(name: str | None) -> str | None:
+    """Override the kernel selection (``None`` restores the env/default).
+
+    Returns the previous override so tests can restore it.
+    """
+    global _kernel_override
+    if name is not None and name not in _KERNELS:
+        raise SMPCError(f"unknown SMPC kernel {name!r}; choose from {_KERNELS}")
+    previous = _kernel_override
+    _kernel_override = name
+    return previous
+
+
+def active_kernel() -> str:
+    """The kernel in effect: override, else $REPRO_SMPC_KERNEL, else auto."""
+    if _kernel_override is not None:
+        return _kernel_override
+    value = os.environ.get(KERNEL_ENV, "").strip().lower()
+    if not value:
+        return "auto"
+    if value not in _KERNELS:
+        raise SMPCError(f"{KERNEL_ENV} must be one of {_KERNELS}, got {value!r}")
+    return value
+
+
+def use_numpy(length: int) -> bool:
+    """Whether the limb kernel handles a *newly created* vector of ``length``.
+
+    ``numpy`` and ``python`` force their path unconditionally (the
+    differential suite relies on that); ``auto`` — the default — picks the
+    limb kernel once a vector is long enough to amortize numpy dispatch.
+    Existing vectors route per-operation via representation stickiness
+    (:meth:`FieldVector._prefer_numpy`).
+    """
+    kernel = active_kernel()
+    if kernel == "numpy":
+        return True
+    if kernel == "python":
+        return False
+    return length >= NUMPY_MIN_ELEMENTS
 
 
 def fadd(a: int, b: int) -> int:
@@ -54,98 +131,354 @@ def fpow(a: int, exponent: int) -> int:
     return pow(a, exponent, PRIME)
 
 
-class FieldVector:
-    """A vector of field elements with element-wise operations."""
+def random_field_elements(count: int, rng: random.Random) -> list[int]:
+    """Draw ``count`` uniform field elements in one batch.
 
-    __slots__ = ("elements",)
+    Stream-identical to ``count`` sequential ``rng.randrange(PRIME)`` calls:
+    CPython's ``randrange(n)`` is ``getrandbits(n.bit_length())`` with
+    rejection of draws ``>= n``, which for the Mersenne modulus rejects only
+    the all-ones pattern (probability 2^-127).  Calling ``getrandbits``
+    directly skips ``randrange``'s per-call argument handling, which is the
+    bulk of its cost at this batch shape; the regression suite pins the
+    equivalence so chaos/trace determinism never depends on which path drew.
+    """
+    getrandbits = rng.getrandbits
+    out = []
+    append = out.append
+    for _ in range(count):
+        value = getrandbits(127)
+        while value >= PRIME:  # pragma: no cover - probability 2^-127
+            value = getrandbits(127)
+        append(value)
+    return out
+
+
+#: Little-endian bytes of the one rejected 127-bit pattern (the value p).
+_P_BYTES = PRIME.to_bytes(16, "little")
+
+
+def _random_field_limbs(count: int, rng: random.Random) -> np.ndarray:
+    """Draw ``count`` uniform field elements directly into limb form.
+
+    Consumes the RNG stream exactly like :func:`random_field_elements` (same
+    ``getrandbits(127)`` draws, same rejection) but serializes each draw to
+    bytes in one comprehension, skipping the Python-int list entirely — the
+    numpy kernel's share-sampling hot path.  The rejection case (a draw equal
+    to p, probability 2^-127) is handled by snapshotting the RNG state up
+    front and replaying the batch through the careful per-draw loop, so the
+    stream stays identical to the reference even then.
+    """
+    state = rng.getstate()
+    getrandbits = rng.getrandbits
+    parts = [getrandbits(127).to_bytes(16, "little") for _ in range(count)]
+    if _P_BYTES in parts:  # pragma: no cover - probability ~count * 2^-127
+        rng.setstate(state)
+        parts = []
+        append = parts.append
+        for _ in range(count):
+            value = getrandbits(127)
+            while value >= PRIME:
+                value = getrandbits(127)
+            append(value.to_bytes(16, "little"))
+    return limb.limbs_from_le16(b"".join(parts))
+
+
+def random_bit_elements(count: int, rng: random.Random) -> list[int]:
+    """Draw ``count`` uniform bits, stream-identical to ``rng.randrange(2)``.
+
+    ``randrange(2)`` draws ``getrandbits(2)`` (k = n.bit_length() = 2) and
+    rejects values >= 2, so half the draws reject once on average; the loop
+    below replicates that exactly.
+    """
+    getrandbits = rng.getrandbits
+    out = []
+    append = out.append
+    for _ in range(count):
+        value = getrandbits(2)
+        while value >= 2:
+            value = getrandbits(2)
+        append(value)
+    return out
+
+
+class FieldVector:
+    """A vector of field elements with element-wise operations.
+
+    Internally either a list of Python ints (``python`` kernel, and the
+    public ``elements`` view) or an ``(N, 5)`` int64 limb array (``numpy``
+    kernel); conversions are lazy and cached.  The list returned by
+    ``elements`` may be mutated by callers (the reference Shamir sharer
+    does), so reading it drops the limb cache; mutating a previously
+    obtained list *after* further field operations is unsupported.
+    """
+
+    __slots__ = ("_elements", "_limbs")
 
     def __init__(self, elements: Sequence[int]) -> None:
-        self.elements = [int(e) % PRIME for e in elements]
+        self._elements: list[int] | None = [int(e) % PRIME for e in elements]
+        self._limbs: np.ndarray | None = None
 
     @classmethod
     def zeros(cls, length: int) -> "FieldVector":
-        vector = cls.__new__(cls)
-        vector.elements = [0] * length
-        return vector
+        return cls._raw([0] * length)
 
     @classmethod
     def random(cls, length: int, rng: random.Random) -> "FieldVector":
+        """Uniform random vector (batched draw, see :func:`random_field_elements`).
+
+        Both kernels consume the seeded RNG stream identically; the numpy
+        kernel lands the draws straight in limb form.
+        """
+        if use_numpy(length):
+            return cls._from_limbs(_random_field_limbs(length, rng))
+        return cls._raw(random_field_elements(length, rng))
+
+    @classmethod
+    def from_signed_int64(cls, values: np.ndarray) -> "FieldVector":
+        """Build a vector from signed int64 residues (|v| < 2^62).
+
+        The fixed-point encoder's bridge: negative values map to ``p - |v|``.
+        Under the numpy kernel the limbs are packed directly — no Python
+        bignums materialize; the python kernel takes the transparent
+        ``v % PRIME`` route.  Both produce identical field elements.
+        """
+        if use_numpy(len(values)):
+            return cls._from_limbs(limb.from_signed_int64(values))
+        return cls._raw([int(v) % PRIME for v in values])
+
+    def to_signed_int64(self) -> np.ndarray | None:
+        """Centered signed-int64 view, or ``None`` if any |value| >= 2^62.
+
+        The decode bridge: elements below p/2 come back positive, elements
+        above come back negative, without materializing Python ints under
+        the numpy kernel.  Callers must fall back to the exact big-int path
+        on ``None``.
+        """
+        if self._limbs is not None and self._elements is None:
+            return limb.to_signed_int64(self._limbs)
+        half = PRIME >> 1
+        bound = limb.INT64_BOUND
+        out = np.empty(len(self), dtype=np.int64)
+        for i, value in enumerate(self._as_elements()):
+            signed = value if value <= half else value - PRIME
+            if not -bound < signed < bound:
+                return None
+            out[i] = signed
+        return out
+
+    @classmethod
+    def _raw(cls, elements: list[int]) -> "FieldVector":
         vector = cls.__new__(cls)
-        vector.elements = [rng.randrange(PRIME) for _ in range(length)]
+        vector._elements = elements
+        vector._limbs = None
         return vector
 
+    @classmethod
+    def _from_limbs(cls, limbs: np.ndarray) -> "FieldVector":
+        vector = cls.__new__(cls)
+        vector._elements = None
+        vector._limbs = limbs
+        return vector
+
+    # ------------------------------------------------------- representations
+
+    @property
+    def elements(self) -> list[int]:
+        """The vector as a list of Python ints (the public, mutable view)."""
+        if self._elements is None:
+            self._elements = limb.from_limbs(self._limbs)
+        # The caller may mutate the list it gets; a cached limb view would
+        # go stale silently, so it is dropped here.
+        self._limbs = None
+        return self._elements
+
+    def _as_elements(self) -> list[int]:
+        """Internal read-only view; keeps the limb cache alive."""
+        if self._elements is None:
+            self._elements = limb.from_limbs(self._limbs)
+        return self._elements
+
+    def _as_limbs(self) -> np.ndarray:
+        if self._limbs is None:
+            self._limbs = limb.to_limbs(self._elements)
+        return self._limbs
+
+    def copy(self) -> "FieldVector":
+        """An independent copy (cheap: copies whichever cache is live)."""
+        if self._limbs is not None:
+            return FieldVector._from_limbs(self._limbs.copy())
+        return FieldVector._raw(list(self._elements))
+
+    # ------------------------------------------------------------- protocol
+
     def __len__(self) -> int:
-        return len(self.elements)
+        if self._elements is not None:
+            return len(self._elements)
+        return self._limbs.shape[0]
 
     def __iter__(self) -> Iterator[int]:
         return iter(self.elements)
 
     def __getitem__(self, index: int) -> int:
-        return self.elements[index]
+        return self._as_elements()[index]
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, FieldVector):
             return NotImplemented
-        return self.elements == other.elements
+        return self._as_elements() == other._as_elements()
 
     def _check_length(self, other: "FieldVector") -> None:
         if len(self) != len(other):
             raise SMPCError(f"length mismatch: {len(self)} vs {len(other)}")
 
+    def _prefer_numpy(self, other: "FieldVector | None" = None) -> bool:
+        """Per-operation kernel choice for existing vectors.
+
+        In ``auto`` mode the limb kernel is used only when the vector is
+        long enough AND an operand is already limb-backed: limb-born data
+        (random shares, encoder output) stays on the fast path, while
+        element-born data (the bit vectors of comparison protocols, whose
+        consumers read ``elements`` every round) stays on Python bignums
+        instead of paying a representation conversion per operation.
+        """
+        kernel = active_kernel()
+        if kernel == "numpy":
+            return True
+        if kernel == "python":
+            return False
+        if len(self) < NUMPY_MIN_ELEMENTS:
+            return False
+        return self._limbs is not None or (
+            other is not None and other._limbs is not None
+        )
+
+    # ------------------------------------------------------------ arithmetic
+
     def __add__(self, other: "FieldVector") -> "FieldVector":
         self._check_length(other)
-        return FieldVector._raw([(a + b) % PRIME for a, b in zip(self.elements, other.elements)])
+        if self._prefer_numpy(other):
+            return FieldVector._from_limbs(limb.add(self._as_limbs(), other._as_limbs()))
+        return FieldVector._raw(
+            [(a + b) % PRIME for a, b in zip(self._as_elements(), other._as_elements())]
+        )
 
     def __sub__(self, other: "FieldVector") -> "FieldVector":
         self._check_length(other)
-        return FieldVector._raw([(a - b) % PRIME for a, b in zip(self.elements, other.elements)])
+        if self._prefer_numpy(other):
+            return FieldVector._from_limbs(limb.sub(self._as_limbs(), other._as_limbs()))
+        return FieldVector._raw(
+            [(a - b) % PRIME for a, b in zip(self._as_elements(), other._as_elements())]
+        )
 
     def __mul__(self, other: "FieldVector") -> "FieldVector":
         self._check_length(other)
-        return FieldVector._raw([(a * b) % PRIME for a, b in zip(self.elements, other.elements)])
+        if self._prefer_numpy(other):
+            return FieldVector._from_limbs(limb.mul(self._as_limbs(), other._as_limbs()))
+        return FieldVector._raw(
+            [(a * b) % PRIME for a, b in zip(self._as_elements(), other._as_elements())]
+        )
 
     def scale(self, scalar: int) -> "FieldVector":
         scalar = scalar % PRIME
-        return FieldVector._raw([(a * scalar) % PRIME for a in self.elements])
+        if self._prefer_numpy():
+            return FieldVector._from_limbs(limb.scale(self._as_limbs(), scalar))
+        return FieldVector._raw([(a * scalar) % PRIME for a in self._as_elements()])
 
     def negate(self) -> "FieldVector":
-        return FieldVector._raw([(-a) % PRIME for a in self.elements])
+        if self._prefer_numpy():
+            return FieldVector._from_limbs(limb.neg(self._as_limbs()))
+        return FieldVector._raw([(-a) % PRIME for a in self._as_elements()])
 
     def add_scalar(self, scalar: int) -> "FieldVector":
         scalar = scalar % PRIME
-        return FieldVector._raw([(a + scalar) % PRIME for a in self.elements])
+        if self._prefer_numpy():
+            return FieldVector._from_limbs(limb.add_scalar(self._as_limbs(), scalar))
+        return FieldVector._raw([(a + scalar) % PRIME for a in self._as_elements()])
 
-    @classmethod
-    def _raw(cls, elements: list[int]) -> "FieldVector":
-        vector = cls.__new__(cls)
-        vector.elements = elements
-        return vector
+    # -------------------------------------------------------------- queries
+
+    def is_zero(self) -> bool:
+        """True when every element is zero (no materialization under numpy)."""
+        if self._limbs is not None and self._elements is None:
+            return limb.is_zero(self._limbs)
+        return not any(self._as_elements())
+
+    def take(self, indices: Sequence[int] | np.ndarray) -> "FieldVector":
+        """Gather elements at ``indices`` (the bit-column reshape hot path)."""
+        if self._prefer_numpy():
+            return FieldVector._from_limbs(
+                self._as_limbs()[np.asarray(indices, dtype=np.intp)]
+            )
+        elements = self._as_elements()
+        return FieldVector._raw([elements[int(i)] for i in indices])
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        preview = self.elements[:4]
-        suffix = "..." if len(self.elements) > 4 else ""
+        preview = self._as_elements()[:4]
+        suffix = "..." if len(self) > 4 else ""
         return f"FieldVector({preview}{suffix}, n={len(self)})"
 
 
 def vector_sum(vectors: Iterable[FieldVector]) -> FieldVector:
     """Element-wise sum of several equal-length vectors.
 
-    Uses lazy modular reduction: elements are < 2^127, so Python's bignum
-    addition cannot lose information, and one ``% PRIME`` per element at the
-    end replaces one per element *per vector*.  This is the SMPC aggregation
-    hot path — every share import and every reconstruction funnels through
-    here — and modular reduction of 127-bit values dominates its cost.
+    Uses lazy modular reduction: under the numpy kernel limb accumulators
+    absorb up to 2^36 canonical vectors before a single carry pass; under the
+    python kernel elements are < 2^127, so bignum addition cannot lose
+    information and one ``% PRIME`` per element at the end replaces one per
+    element *per vector*.  This is the SMPC aggregation hot path — every
+    share import and every reconstruction funnels through here.
     """
     iterator = iter(vectors)
     try:
-        total = next(iterator)
+        first = next(iterator)
     except StopIteration:
         raise SMPCError("vector_sum of zero vectors") from None
-    result = list(total.elements)
+    if first._prefer_numpy():
+        acc = first._as_limbs().astype(np.int64, copy=True)
+        count = 1
+        for vector in iterator:
+            other = vector._as_limbs()
+            if other.shape[0] != acc.shape[0]:
+                raise SMPCError("vector_sum length mismatch")
+            acc += other
+            count += 1
+            if count % limb.LAZY_ADD_LIMIT == 0:  # pragma: no cover - safety net
+                limb.reduce(acc)
+        return FieldVector._from_limbs(limb.reduce(acc))
+    result = list(first._as_elements())
     for vector in iterator:
-        other = vector.elements
+        other = vector._as_elements()
         if len(other) != len(result):
             raise SMPCError("vector_sum length mismatch")
         for i, value in enumerate(other):
             result[i] += value
     return FieldVector._raw([value % PRIME for value in result])
+
+
+def linear_combination(scalars: Sequence[int], vectors: Sequence[FieldVector]) -> FieldVector:
+    """``sum_i scalars[i] * vectors[i]`` — the Lagrange/MAC dot-product shape.
+
+    Under the numpy kernel the scalar products accumulate lazily in the wide
+    schoolbook domain with one fold at the end (:func:`limb.linear_combination`);
+    the python path is the transparent fold of :meth:`FieldVector.scale`.
+    """
+    if len(scalars) != len(vectors):
+        raise SMPCError("linear_combination arity mismatch")
+    if not vectors:
+        raise SMPCError("linear_combination of zero terms")
+    if vectors[0]._prefer_numpy():
+        return FieldVector._from_limbs(
+            limb.linear_combination(
+                [s % PRIME for s in scalars], [v._as_limbs() for v in vectors]
+            )
+        )
+    length = len(vectors[0])
+    result = [0] * length
+    for scalar, vector in zip(scalars, vectors):
+        scalar = scalar % PRIME
+        elements = vector._as_elements()
+        if len(elements) != length:
+            raise SMPCError("linear_combination length mismatch")
+        for i, value in enumerate(elements):
+            result[i] = (result[i] + scalar * value) % PRIME
+    return FieldVector._raw(result)

@@ -12,7 +12,10 @@ import random
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import SMPCError, ThresholdError
+from repro.smpc import field, limb
 from repro.smpc.field import PRIME, FieldVector, finv
 
 
@@ -48,14 +51,56 @@ def default_threshold(n_parties: int) -> int:
 def share_vector(
     vector: FieldVector, n_parties: int, threshold: int, rng: random.Random
 ) -> ShamirShared:
-    """Share each element with an independent random degree-t polynomial."""
+    """Share each element with an independent random degree-t polynomial.
+
+    Both kernels consume the RNG identically (element-major coefficient
+    order) and produce identical shares; the numpy path samples the whole
+    coefficient matrix in one batch and evaluates every polynomial at once
+    with a vectorized Horner scheme over the limb kernel.
+    """
     if threshold >= n_parties:
         raise SMPCError("threshold must be below the party count")
+    if field.use_numpy(len(vector)):
+        return _share_vector_batched(vector, n_parties, threshold, rng)
     shares = [FieldVector.zeros(len(vector)) for _ in range(n_parties)]
     for index, secret in enumerate(vector.elements):
         coefficients = [secret] + [rng.randrange(PRIME) for _ in range(threshold)]
         for party in range(n_parties):
             shares[party].elements[index] = _poly_eval(coefficients, party + 1)
+    return ShamirShared(shares, threshold)
+
+
+def _share_vector_batched(
+    vector: FieldVector, n_parties: int, threshold: int, rng: random.Random
+) -> ShamirShared:
+    """Batched sharing: one RNG draw, vectorized Horner per party point.
+
+    ``flat[i * threshold + j]`` is element i's degree-(j + 1) coefficient —
+    exactly the order the reference per-element loop draws, so seeded share
+    values match it bit for bit.
+    """
+    length = len(vector)
+    flat = field._random_field_limbs(length * threshold, rng)
+    coefficients = [vector] + [
+        FieldVector._from_limbs(np.ascontiguousarray(flat[j::threshold]))
+        for j in range(threshold)
+    ]
+    powers = [
+        [pow(party + 1, j, PRIME) for j in range(threshold + 1)]
+        for party in range(n_parties)
+    ]
+    if max(sum(row) for row in powers) < 1 << 36:
+        # Evaluation-point powers are small (any realistic party count):
+        # all parties' shares come out of one batched limb combination.
+        stacked = np.stack([c._as_limbs() for c in coefficients])
+        evaluated = limb.combine_small_weights(
+            np.array(powers, dtype=np.int64), stacked
+        )
+        shares = [FieldVector._from_limbs(evaluated[p]) for p in range(n_parties)]
+    else:  # pragma: no cover - needs ~2^9 parties at high threshold
+        shares = [
+            field.linear_combination(row, coefficients) for row in powers
+        ]
     return ShamirShared(shares, threshold)
 
 
@@ -97,12 +142,10 @@ def reconstruct(shared: ShamirShared, degree: int | None = None) -> FieldVector:
         )
     points = list(range(1, needed + 1))
     coefficients = lagrange_coefficients_at_zero(points)
-    length = len(shared)
-    result = [0] * length
-    for coefficient, share in zip(coefficients, shared.shares[:needed]):
-        for index in range(length):
-            result[index] = (result[index] + coefficient * share.elements[index]) % PRIME
-    return FieldVector(result)
+    # The Lagrange combine is a dot product of public coefficients with the
+    # share vectors; linear_combination dispatches to the lazy-reduction limb
+    # kernel (one fold for the whole combine) or the python reference.
+    return field.linear_combination(coefficients, shared.shares[:needed])
 
 
 def reconstruct_from_subset(
@@ -116,12 +159,7 @@ def reconstruct_from_subset(
     chosen = list(shares[: threshold + 1])
     points = [party + 1 for party, _ in chosen]
     coefficients = lagrange_coefficients_at_zero(points)
-    length = len(chosen[0][1])
-    result = [0] * length
-    for coefficient, (_, share) in zip(coefficients, chosen):
-        for index in range(length):
-            result[index] = (result[index] + coefficient * share.elements[index]) % PRIME
-    return FieldVector(result)
+    return field.linear_combination(coefficients, [share for _, share in chosen])
 
 
 def reshare(
@@ -206,7 +244,7 @@ def multiply_local(a: ShamirShared, b: ShamirShared) -> ShamirShared:
 
 def public_to_shared(public: FieldVector, n_parties: int, threshold: int) -> ShamirShared:
     """Deterministic (zero-polynomial) sharing of a public constant."""
-    return ShamirShared([FieldVector(list(public.elements)) for _ in range(n_parties)], threshold)
+    return ShamirShared([public.copy() for _ in range(n_parties)], threshold)
 
 
 def _check_compatible(a: ShamirShared, b: ShamirShared) -> None:

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import SMPCError
 from repro.smpc import additive, shamir
-from repro.smpc.field import PRIME, FieldVector
+from repro.smpc.field import PRIME, FieldVector, random_bit_elements
 
 
 @dataclass
@@ -73,7 +73,7 @@ class TrustedDealer:
         return triple
 
     def additive_random_bits(self, count: int) -> additive.AdditiveShared:
-        bits = FieldVector([self._rng.randrange(2) for _ in range(count)])
+        bits = FieldVector._raw(random_bit_elements(count, self._rng))
         shared = additive.share_vector(bits, self.n_parties, self.alpha, self._rng)
         self.usage.random_bits += count
         self.usage.elements_dealt += 2 * self.n_parties * count
@@ -95,7 +95,7 @@ class TrustedDealer:
         return triple
 
     def shamir_random_bits(self, count: int, threshold: int) -> shamir.ShamirShared:
-        bits = FieldVector([self._rng.randrange(2) for _ in range(count)])
+        bits = FieldVector._raw(random_bit_elements(count, self._rng))
         shared = shamir.share_vector(bits, self.n_parties, threshold, self._rng)
         self.usage.random_bits += count
         self.usage.elements_dealt += self.n_parties * count

@@ -1,20 +1,33 @@
 """Table wire serialization."""
 
+import math
+
 from repro.engine.table import Schema, Table
 from repro.engine.types import SQLType
-from repro.federation.serialization import table_from_payload, table_to_payload
+from repro.federation.serialization import (
+    COLUMNAR_FORMAT,
+    payload_elements,
+    table_from_payload,
+    table_to_payload,
+)
+
+MIXED_SCHEMA = Schema([
+    ("i", SQLType.INT), ("r", SQLType.REAL),
+    ("s", SQLType.VARCHAR), ("b", SQLType.BOOL),
+])
+
+
+def _mixed_table() -> Table:
+    return Table.from_rows(MIXED_SCHEMA, [
+        (1, 1.5, "x", True),
+        (None, None, None, None),
+        (-7, math.pi, "", False),
+    ])
 
 
 class TestRoundtrip:
     def test_all_types_with_nulls(self):
-        schema = Schema([
-            ("i", SQLType.INT), ("r", SQLType.REAL),
-            ("s", SQLType.VARCHAR), ("b", SQLType.BOOL),
-        ])
-        table = Table.from_rows(schema, [
-            (1, 1.5, "x", True),
-            (None, None, None, None),
-        ])
+        table = _mixed_table()
         restored = table_from_payload(table_to_payload(table))
         assert restored.schema == table.schema
         assert restored.to_rows() == table.to_rows()
@@ -24,3 +37,53 @@ class TestRoundtrip:
         restored = table_from_payload(table_to_payload(Table.empty(schema)))
         assert restored.num_rows == 0
         assert restored.schema == schema
+
+
+class TestColumnarFormat:
+    def test_payload_shape(self):
+        payload = table_to_payload(_mixed_table())
+        assert payload["format"] == COLUMNAR_FORMAT
+        assert payload["columns"] == [
+            ("i", "INT"), ("r", "REAL"), ("s", "VARCHAR"), ("b", "BOOL")
+        ]
+        assert set(payload["values"]) == set(payload["nulls"]) == {"i", "r", "s", "b"}
+        assert payload["values"]["i"] == [1, 0, -7]  # placeholder under the mask
+        assert payload["nulls"]["i"] == [False, True, False]
+        # Plain JSON-able python scalars only — no numpy types on the wire.
+        assert all(type(v) is int for v in payload["values"]["i"])
+        assert all(type(v) is float for v in payload["values"]["r"])
+
+    def test_null_masks_survive_round_trip(self):
+        restored = table_from_payload(table_to_payload(_mixed_table()))
+        assert restored.column("s").to_list() == ["x", None, ""]
+        assert restored.column("b").null_count == 1
+
+    def test_legacy_row_payload_still_decodes(self):
+        table = _mixed_table()
+        legacy = {
+            "columns": [(spec.name, spec.sql_type.value) for spec in table.schema],
+            "rows": table.to_rows(),
+        }
+        restored = table_from_payload(legacy)
+        assert restored.schema == table.schema
+        assert restored.to_rows() == table.to_rows()
+
+
+class TestPayloadElements:
+    def test_counts_columnar_cells(self):
+        assert payload_elements(table_to_payload(_mixed_table())) == 12
+
+    def test_counts_legacy_cells(self):
+        table = _mixed_table()
+        legacy = {
+            "columns": [(spec.name, spec.sql_type.value) for spec in table.schema],
+            "rows": table.to_rows(),
+        }
+        assert payload_elements(legacy) == 12
+
+    def test_counts_nested_and_ignores_non_tables(self):
+        wrapped = {"table": table_to_payload(_mixed_table()), "job_id": "j1"}
+        assert payload_elements(wrapped) == 12
+        assert payload_elements({"status": "ok"}) == 0
+        assert payload_elements(None) == 0
+        assert payload_elements([1, 2, 3]) == 0

@@ -62,6 +62,22 @@ class TestMetering:
         transport.stats.reset()
         assert transport.stats.messages == 0
 
+    def test_payload_elements_metered_for_table_payloads(self, transport):
+        from repro.engine.table import Schema, Table
+        from repro.engine.types import SQLType
+        from repro.federation.serialization import table_to_payload
+
+        table = Table.from_rows(
+            Schema([("a", SQLType.INT), ("b", SQLType.REAL)]),
+            [(1, 2.0), (3, 4.0), (None, 6.0)],
+        )
+        transport.send("node_a", "node_b", "push", {"table": table_to_payload(table)})
+        # The request carries 6 cells; the echoed response carries them back.
+        assert transport.stats.payload_elements == 12
+        assert transport.link_stats[("node_a", "node_b")].payload_elements == 6
+        transport.send("node_a", "node_b", "ping", {"x": 1})
+        assert transport.stats.payload_elements == 12  # non-tables count zero
+
 
 class TestFailureInjection:
     def test_down_node_unreachable(self, transport):
