@@ -90,6 +90,26 @@ def build_parser() -> argparse.ArgumentParser:
         subparser.add_argument("--repeat", type=int, default=4,
                                help="number of experiments to submit (default 4)")
 
+    fuzz = subcommands.add_parser(
+        "fuzz",
+        help="fuzz the deterministic simulation harness "
+             "(seeds x fault plans x parallelism)",
+    )
+    fuzz.add_argument("--runs", type=int, default=25,
+                      help="number of random scenarios to run (default 25)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="fuzzer RNG seed (scenario sampling; default 0)")
+    fuzz.add_argument("--budget-seconds", type=float, default=None,
+                      help="additionally stop after this much wall time")
+    fuzz.add_argument("--replay", metavar="SPEC", default=None,
+                      help="replay one 'seed=S;par=P;jobs=N;faults=...' "
+                           "scenario and print its transcript")
+    fuzz.add_argument("--corpus", metavar="PATH", default=None,
+                      help="replay every scenario in a corpus file")
+    fuzz.add_argument("--write-corpus", metavar="PATH", default=None,
+                      help="append the scenarios this session ran to a "
+                           "corpus file")
+
     for subparser in (run, trace, metrics, submit, jobs, cancel):
         subparser.add_argument("--algorithm", required=True)
         subparser.add_argument("--data-model", default="dementia")
@@ -361,6 +381,54 @@ def command_cancel(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_fuzz(args: argparse.Namespace) -> int:
+    """`repro fuzz`: randomized simulation search, replay, corpus runs.
+
+    Exit codes: 0 all scenarios clean, 1 a scenario failed (the shrunk
+    single-line repro command is printed), 2 usage/setup errors.
+    """
+    from repro.simtest import fuzz as fuzz_mod
+    from repro.simtest.harness import SimSpec, repro_command
+
+    if args.replay is not None:
+        outcome = fuzz_mod.run_one(SimSpec.parse(args.replay))
+        if outcome.report is not None:
+            print(outcome.report.transcript, end="")
+        for line in outcome.failures():
+            print(f"FAIL {line}")
+        return 1 if outcome.failed else 0
+
+    if args.corpus is not None:
+        specs = fuzz_mod.read_corpus(args.corpus)
+        failed = 0
+        for spec in specs:
+            outcome = fuzz_mod.run_one(spec)
+            status = "FAIL" if outcome.failed else "ok"
+            print(f"{status} {spec.spec()}")
+            if outcome.failed:
+                failed += 1
+                for line in outcome.failures():
+                    print(f"  {line}")
+                print(f"  reproduce with: {repro_command(spec)}")
+        print(f"corpus: {len(specs) - failed}/{len(specs)} ok")
+        return 1 if failed else 0
+
+    result = fuzz_mod.fuzz(
+        runs=args.runs,
+        seed=args.seed,
+        budget_seconds=args.budget_seconds,
+        emit=print,
+    )
+    if args.write_corpus:
+        fuzz_mod.write_corpus(args.write_corpus, result.specs)
+        print(f"wrote {len(result.specs)} scenarios to {args.write_corpus}")
+    print(
+        f"fuzz: {result.runs} runs in {result.elapsed_seconds:.1f}s, "
+        + ("all clean" if result.ok else "FAILURE found")
+    )
+    return 0 if result.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -379,6 +447,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "submit": command_submit,
         "jobs": command_jobs,
         "cancel": command_cancel,
+        "fuzz": command_fuzz,
     }
     try:
         return handlers[args.command](args)

@@ -23,6 +23,7 @@ from repro.core.state import GlobalHandle, LocalHandle
 from repro.federation.master import Master
 from repro.federation.messages import new_job_id
 from repro.observability.trace import tracer
+from repro.simtest import hooks as sim_hooks
 from repro.smpc.cluster import NoiseSpec
 from repro.udfgen.decorators import get_spec
 from repro.udfgen.iotypes import (
@@ -92,6 +93,12 @@ class ExecutionContext:
 
     def check_cancelled(self) -> None:
         """Raise if this experiment's job was cancelled (between-step check)."""
+        sim = sim_hooks.current()
+        if sim is not None:
+            # A step boundary: step-indexed faults (cancellations) fire here,
+            # before the flag check, so an injected cancel takes effect at
+            # this very boundary rather than the next one.
+            sim.flow_step(f"step:{self.job_id}")
         if self.cancel_event is not None and self.cancel_event.is_set():
             raise ExperimentCancelledError(
                 f"experiment {self.job_id} was cancelled mid-flow"

@@ -72,6 +72,8 @@ class ExperimentResult:
     #: Privacy audit trail for this experiment, merged across master and
     #: workers (each entry is an AuditEvent dict; see observability.audit).
     audit: tuple = ()
+    #: Workers evicted mid-flow by the failure policy (empty on clean runs).
+    evicted: tuple[str, ...] = ()
 
 
 class ExperimentEngine:

@@ -25,6 +25,7 @@ import heapq
 import itertools
 import threading
 import time
+import weakref
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
@@ -38,9 +39,43 @@ from repro.federation import transport as transport_mod
 from repro.federation.messages import new_job_id
 from repro.observability.audit import merged_events
 from repro.observability.trace import NULL_SPAN, tracer
+from repro.simtest import hooks as sim_hooks
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.runner import ExperimentRunner
+
+#: How often an idle executor worker re-checks whether its queue still
+#: exists.  Submissions and shutdown wake workers immediately via the
+#: condition; the timeout only bounds how long a worker outlives a queue
+#: that was dropped without ``shutdown()``.
+_WORKER_POLL_SECONDS = 0.25
+
+
+def _queue_worker(queue_ref: "weakref.ref[ExperimentQueue]",
+                  cond: threading.Condition) -> None:
+    """Executor-pool worker loop, referencing its queue only weakly.
+
+    The same idiom ``ThreadPoolExecutor`` uses: a worker thread is a GC
+    root, so a loop bound to ``self`` would pin the queue — and through it
+    the runner, the federation, and the transport pool — forever.  Holding
+    a weakref (and dropping the strong deref before every wait) lets an
+    abandoned queue be collected, at which point the worker notices and
+    exits on its next wakeup.
+    """
+    while True:
+        queue = queue_ref()
+        if queue is None:
+            return
+        with cond:
+            if queue._shutdown and not queue._heap:
+                return
+            if not queue._heap:
+                del queue  # don't pin the queue while parked
+                cond.wait(timeout=_WORKER_POLL_SECONDS)
+                continue
+            job = queue._claim_locked()
+        if job is not None:
+            queue._execute_claimed(job)
 
 
 class JobState(enum.Enum):
@@ -91,6 +126,7 @@ class _Job:
         "priority",
         "seq",
         "state",
+        "history",
         "cancel_event",
         "done",
         "result",
@@ -106,6 +142,9 @@ class _Job:
         self.priority = priority
         self.seq = seq
         self.state = JobState.PENDING
+        #: Every state this job has been in, in order.  The simulation
+        #: harness asserts state-machine legality over these histories.
+        self.history: list[str] = [JobState.PENDING.value]
         self.cancel_event = threading.Event()
         self.done = threading.Event()
         self.result = None
@@ -113,6 +152,11 @@ class _Job:
         self.submitted_wall = time.perf_counter()
         self.started_wall: float | None = None
         self.finished_wall: float | None = None
+
+    def set_state(self, state: JobState) -> None:
+        """Transition and record; callers hold the queue's condition."""
+        self.state = state
+        self.history.append(state.value)
 
     @property
     def wait_seconds(self) -> float | None:
@@ -208,7 +252,17 @@ class ExperimentQueue:
     # -------------------------------------------------------------- lifecycle
 
     def start(self) -> None:
-        """Spin up the executor pool (idempotent; submit() calls this)."""
+        """Spin up the executor pool (idempotent; submit() calls this).
+
+        Under an active simulation no worker threads exist at all: the
+        queue registers itself with the runtime, which claims jobs through
+        :meth:`sim_claim` and executes them as cooperatively-scheduled
+        tasks — dispatch order and overlap become a function of the seed.
+        """
+        sim = sim_hooks.current()
+        if sim is not None:
+            sim.register_queue(self)
+            return
         with self._cond:
             if self._threads or self._shutdown:
                 return
@@ -217,7 +271,8 @@ class ExperimentQueue:
             self.runner.federation.transport.reserve_fanout_slots(self.max_concurrent)
             for index in range(self.max_concurrent):
                 thread = threading.Thread(
-                    target=self._worker_loop,
+                    target=_queue_worker,
+                    args=(weakref.ref(self), self._cond),
                     name=f"experiment-queue-{index}",
                     daemon=True,
                 )
@@ -256,7 +311,7 @@ class ExperimentQueue:
                 raise QueueFullError(f"job {job_id!r} is already submitted")
             job = _Job(job_id, request, priority, next(self._seq))
             self._jobs[job_id] = job
-            job.state = JobState.QUEUED
+            job.set_state(JobState.QUEUED)
             heapq.heappush(self._heap, (-priority, job.seq, job_id))
             self._queued_count += 1
             self._submitted_total += 1
@@ -267,6 +322,11 @@ class ExperimentQueue:
     def wait(self, job_id: str, timeout: float | None = None):
         """Block until a job finishes; returns its ExperimentResult."""
         job = self._get_job(job_id)
+        sim = sim_hooks.current()
+        if sim is not None and not job.done.is_set():
+            # No executor threads exist under simulation: drive the
+            # cooperative scheduler until this job reaches a terminal state.
+            sim.drive_until(job.done.is_set)
         if not job.done.wait(timeout):
             raise TimeoutError(f"experiment {job_id!r} did not finish in {timeout}s")
         if job.unhandled is not None:
@@ -342,33 +402,57 @@ class ExperimentQueue:
 
     # -------------------------------------------------------------- execution
 
-    def _worker_loop(self) -> None:
-        while True:
+    def _claim_locked(self) -> "_Job | None":
+        """Pop and claim the highest-priority job; callers hold the cond.
+
+        Returns None when the popped entry was a pre-dispatch-cancel
+        tombstone (the caller just tries again).
+        """
+        _neg_priority, _seq, job_id = heapq.heappop(self._heap)
+        job = self._jobs[job_id]
+        if job.state is not JobState.QUEUED:
+            return None
+        job.set_state(JobState.RUNNING)
+        job.started_wall = time.perf_counter()
+        self._queued_count -= 1
+        self._running_count += 1
+        self._wait_seconds_total += job.wait_seconds or 0.0
+        return job
+
+    def _execute_claimed(self, job: _Job) -> None:
+        """Run one claimed job to a terminal state (any executor context)."""
+        try:
+            result = self._run_job(job)
+        finally:
             with self._cond:
-                while not self._heap and not self._shutdown:
-                    self._cond.wait()
-                if self._shutdown and not self._heap:
-                    return
-                _neg_priority, _seq, job_id = heapq.heappop(self._heap)
-                job = self._jobs[job_id]
-                if job.state is not JobState.QUEUED:
-                    continue  # tombstone of a pre-dispatch cancellation
-                job.state = JobState.RUNNING
-                job.started_wall = time.perf_counter()
-                self._queued_count -= 1
-                self._running_count += 1
-                self._wait_seconds_total += job.wait_seconds or 0.0
-            try:
-                result = self._run_job(job)
-            finally:
-                with self._cond:
-                    self._running_count -= 1
-            with self._cond:
-                self._finalize_locked(job, result)
+                self._running_count -= 1
+        with self._cond:
+            self._finalize_locked(job, result)
+
+    # ------------------------------------------------------- simulation mode
+
+    def sim_claim(self) -> "_Job | None":
+        """Non-blocking claim for the simulation runtime's dispatcher."""
+        with self._cond:
+            while self._heap:
+                job = self._claim_locked()
+                if job is not None:
+                    return job
+            return None
+
+    def sim_pending(self) -> int:
+        """Jobs still waiting for dispatch (stall detection in simulations)."""
+        with self._cond:
+            return self._queued_count
+
+    def job_histories(self) -> dict[str, tuple[str, ...]]:
+        """Every job's recorded state history, keyed by id."""
+        with self._cond:
+            return {job_id: tuple(job.history) for job_id, job in self._jobs.items()}
 
     def _finalize_locked(self, job: _Job, result) -> None:
         job.finished_wall = time.perf_counter()
-        job.state = JobState(result.status.value)
+        job.set_state(JobState(result.status.value))
         if job.state is JobState.SUCCESS:
             self._succeeded_total += 1
         elif job.state is JobState.ERROR:
@@ -415,6 +499,7 @@ class ExperimentQueue:
                         elapsed_seconds=time.perf_counter() - started,
                         workers=workers,
                         telemetry=self._collect_telemetry(experiment_id),
+                        evicted=tuple(info.get("evicted", ())),
                     )
                 except ExperimentCancelledError as exc:
                     root_span.set_error(f"{type(exc).__name__}: {exc}")
@@ -422,6 +507,7 @@ class ExperimentQueue:
                     result.workers = tuple(info.get("workers", ()))
                     result.elapsed_seconds = time.perf_counter() - started
                     result.telemetry = self._collect_telemetry(experiment_id)
+                    result.evicted = tuple(info.get("evicted", ()))
                 except ReproError as exc:
                     root_span.set_error(f"{type(exc).__name__}: {exc}")
                     result = ExperimentResult(
@@ -432,6 +518,7 @@ class ExperimentQueue:
                         elapsed_seconds=time.perf_counter() - started,
                         workers=tuple(info.get("workers", ())),
                         telemetry=self._collect_telemetry(experiment_id),
+                        evicted=tuple(info.get("evicted", ())),
                     )
                 except BaseException as exc:  # noqa: BLE001 - reraised in wait()
                     # A programming error must not kill the executor thread;
@@ -447,6 +534,7 @@ class ExperimentQueue:
                         elapsed_seconds=time.perf_counter() - started,
                         workers=tuple(info.get("workers", ())),
                         telemetry=self._collect_telemetry(experiment_id),
+                        evicted=tuple(info.get("evicted", ())),
                     )
             master_audit.record(
                 "experiment_finished",

@@ -20,6 +20,7 @@ from repro.core.specs import validate_parameters
 from repro.errors import ExperimentCancelledError, SpecificationError
 from repro.federation.controller import Federation
 from repro.federation.scheduler import WorkerLoad, plan_shipping
+from repro.simtest import hooks as sim_hooks
 from repro.smpc.cluster import NoiseSpec
 
 
@@ -59,6 +60,9 @@ class ExperimentRunner:
         filled with ``workers`` as soon as the context exists, so failed
         flows can still report who participated.
         """
+        sim = sim_hooks.current()
+        if sim is not None:
+            sim.flow_step(f"execute:{experiment_id}")
         algorithm_cls = algorithm_registry.get(request.algorithm)
         parameters = validate_parameters(algorithm_cls.parameters, request.parameters)
         self._check_variables(algorithm_cls, request)
@@ -87,6 +91,8 @@ class ExperimentRunner:
             raise
         finally:
             self.load.release(assignments)
+            if info is not None:
+                info["evicted"] = tuple(sorted(context.evicted))
         return result_data, workers
 
     # --------------------------------------------------------------- helpers

@@ -100,6 +100,11 @@ class PrivacyThresholdError(AlgorithmError):
     """A computation would expose a group smaller than the privacy threshold."""
 
 
+class SimTestError(ReproError):
+    """The deterministic simulation harness hit an internal fault (a stuck
+    task, a malformed fault spec, or activation while disabled)."""
+
+
 def is_transient(error: BaseException) -> bool:
     """Whether retrying the failed operation could plausibly succeed.
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -59,6 +60,10 @@ class Federation:
         self.worker(worker_id)  # validate
         self.transport.set_down(worker_id, down)
         self.master.refresh_catalog()
+
+    def shutdown(self) -> None:
+        """Release pooled resources (the transport's fan-out executor)."""
+        self.transport.shutdown()
 
     # ---------------------------------------------------------- observability
 
@@ -191,6 +196,15 @@ def create_federation(
     master = Master(transport, list(workers), smpc_cluster=smpc, failure_policy=policy)
     master.refresh_catalog()
     # Traces report where the *modeled* network time goes: point the process
-    # tracer's simulated clock at this federation's transport.
-    tracer.sim_clock = lambda: transport.stats.simulated_seconds
+    # tracer's simulated clock at this federation's transport.  The clock
+    # holds the transport weakly — the tracer is a process-global, and a
+    # strong closure here would pin the last federation (and its fan-out
+    # pool threads) for the life of the process.
+    transport_ref = weakref.ref(transport)
+
+    def _sim_clock() -> float:
+        live = transport_ref()
+        return live.stats.simulated_seconds if live is not None else 0.0
+
+    tracer.sim_clock = _sim_clock
     return Federation(transport, master, workers, smpc, config)

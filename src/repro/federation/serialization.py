@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.engine.table import ColumnSpec, Schema, Table
 from repro.engine.types import SQLType
+from repro.errors import FederationError
 
 #: Version tag carried in every columnar payload.  Payloads without a
 #: ``format`` key are the legacy row-major format.
@@ -37,13 +38,23 @@ def table_to_payload(table: Table) -> dict[str, Any]:
 
 
 def table_from_payload(payload: dict[str, Any]) -> Table:
-    """Rebuild a table from either wire format (columnar or legacy rows)."""
+    """Rebuild a table from either wire format (columnar or legacy rows).
+
+    A payload tagged with an unknown ``format`` is rejected loudly: silently
+    decoding a future format as legacy rows would corrupt data mid-study.
+    """
+    declared = payload.get("format")
+    if declared is not None and declared != COLUMNAR_FORMAT:
+        raise FederationError(
+            f"unknown table payload format {declared!r} "
+            f"(this node understands {COLUMNAR_FORMAT!r} and legacy rows)"
+        )
     specs = [
         ColumnSpec(name, SQLType.from_name(type_name))
         for name, type_name in payload["columns"]
     ]
     schema = Schema(specs)
-    if payload.get("format") == COLUMNAR_FORMAT:
+    if declared == COLUMNAR_FORMAT:
         from repro.engine.column import Column
 
         columns = []

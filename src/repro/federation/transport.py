@@ -52,6 +52,7 @@ from repro.federation.messages import Message
 from repro.federation.policy import RetryPolicy
 from repro.federation.serialization import payload_elements
 from repro.observability.trace import tracer
+from repro.simtest import hooks as sim_hooks
 
 Handler = Callable[[Message], dict[str, Any]]
 
@@ -351,10 +352,19 @@ class Transport:
                     sender, receiver, kind, payload, schedules[index], span, job
                 )
 
+        sim = sim_hooks.current()
         with group_span:
             if width <= 1:
                 outcomes = [attempt(i) for i in range(len(requests))]
                 clock = sum(elapsed for _, elapsed in outcomes)
+            elif sim is not None:
+                # Simulation mode: the group still *models* parallel dispatch
+                # (max-clock), but runs sequentially in a seeded order with
+                # scheduler yields between sends, so the interleaving is a
+                # pure function of the simulation seed and no pool threads
+                # exist.
+                outcomes = sim.run_fanout(len(requests), attempt)
+                clock = max(elapsed for _, elapsed in outcomes)
             else:
                 executor = self._ensure_executor()
                 outcomes = list(executor.map(attempt, range(len(requests))))
@@ -556,6 +566,17 @@ class Transport:
                 )
             return self._executor
 
+    def shutdown(self, wait: bool = True) -> None:
+        """Retire the fan-out pool; a later group send lazily recreates it.
+
+        Gives tests and short-lived embedders a deterministic way to reap
+        the pool's (non-daemon) threads instead of waiting for GC.
+        """
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
     def _send_one(
         self,
         sender: str,
@@ -569,6 +590,19 @@ class Transport:
         handler = self._handlers.get(receiver)
         if handler is None:
             raise FederationError(f"unknown node {receiver!r}")
+        extra = 0.0
+        sim = sim_hooks.current()
+        if sim is not None:
+            # Fault injection gate: counts this delivery attempt and may
+            # force a drop, add simulated delay, or crash/revive a node
+            # (the down-check below then sees the new reachability).  No
+            # scheduler yield happens in here — a send runs atomically.
+            forced_drop, extra = sim.on_delivery(self, sender, receiver, kind)
+            if forced_drop:
+                raise NodeUnavailableError(
+                    f"message {kind!r} from {sender!r} to {receiver!r} was "
+                    "dropped (injected fault)"
+                )
         if receiver in self._down or sender in self._down:
             raise NodeUnavailableError(f"node {receiver!r} is unreachable")
         if dropped:
@@ -588,6 +622,7 @@ class Transport:
         elapsed += self._account(
             receiver, sender, _payload_size(response), job, payload_elements(response)
         )
+        elapsed += extra
         if self.sleep_latency and elapsed > 0:
             time.sleep(elapsed)
         return response, elapsed

@@ -1,0 +1,56 @@
+"""Deterministic simulation testing for the federation runtime.
+
+The subsystem virtualizes the platform's real concurrency — the transport
+fan-out pool and the experiment queue's executor threads — into
+cooperatively-scheduled tasks whose interleaving is a pure function of a
+seed, layers a composable fault plan (drops, delays, reorders, crashes,
+cancellations) on top, and checks system-wide invariants against the
+observability layer after every run.  Real runs are untouched: production
+code consults :func:`repro.simtest.hooks.current`, which is None unless a
+harness activated a runtime (and ``REPRO_SIMTEST=off`` forbids even that).
+
+Entry points: :func:`~repro.simtest.harness.run_simulation` for one
+scenario, :func:`~repro.simtest.fuzz.fuzz` for randomized search with
+shrinking, and the ``repro fuzz`` CLI for both.
+
+The heavyweight symbols resolve lazily (PEP 562): production modules import
+``repro.simtest.hooks`` at module scope, so this package init must not pull
+the harness (and through it the whole experiment stack) back in.
+"""
+
+from repro.simtest.faults import Fault, FaultPlan
+from repro.simtest.scheduler import SimScheduler, SimTask
+
+_LAZY = {
+    "SimRuntime": ("repro.simtest.runtime", "SimRuntime"),
+    "InvariantChecker": ("repro.simtest.invariants", "InvariantChecker"),
+    "InvariantReport": ("repro.simtest.invariants", "InvariantReport"),
+    "SimReport": ("repro.simtest.harness", "SimReport"),
+    "SimSpec": ("repro.simtest.harness", "SimSpec"),
+    "repro_command": ("repro.simtest.harness", "repro_command"),
+    "run_simulation": ("repro.simtest.harness", "run_simulation"),
+}
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "InvariantChecker",
+    "InvariantReport",
+    "SimReport",
+    "SimRuntime",
+    "SimScheduler",
+    "SimSpec",
+    "SimTask",
+    "repro_command",
+    "run_simulation",
+]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)

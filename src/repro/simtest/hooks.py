@@ -1,0 +1,75 @@
+"""The production-side hook surface of the simulation harness.
+
+Every call site in the runtime (transport dispatch, queue start, flow step
+boundaries, SMPC aggregation) consults :func:`current` — a single module
+global that is ``None`` unless a simulation is active.  Real runs therefore
+pay one attribute read per hook and behave exactly as before; the behavior
+change exists only inside a :meth:`~repro.simtest.runtime.SimRuntime.activate`
+block.
+
+``REPRO_SIMTEST`` is the kill switch: it defaults to ``off`` (no simulation
+unless a harness activates one programmatically), and setting it explicitly
+to ``off``/``0``/``false`` additionally *forbids* activation, so a deployment
+can guarantee the cooperative scheduler never replaces its real thread
+pools.  The harness sets it to ``on`` for the duration of a simulation so
+subprocesses and log lines can tell simulated runs apart.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import SimTestError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simtest.runtime import SimRuntime
+
+#: Environment knob; ``off`` is both the default state and the hard disable.
+SIMTEST_ENV = "REPRO_SIMTEST"
+
+_DISABLED_VALUES = {"off", "0", "false", "disabled"}
+
+_active: "Optional[SimRuntime]" = None
+
+
+def current() -> "Optional[SimRuntime]":
+    """The active simulation runtime, or None in a real run (the default)."""
+    return _active
+
+
+def simtest_mode() -> str:
+    """``on`` while a simulation drives this process, else ``off``."""
+    return "on" if _active is not None else "off"
+
+
+def hard_disabled() -> bool:
+    """True when ``REPRO_SIMTEST`` explicitly forbids simulation."""
+    return os.environ.get(SIMTEST_ENV, "").strip().lower() in _DISABLED_VALUES
+
+
+def install(runtime: "SimRuntime") -> None:
+    """Make ``runtime`` the process-wide active simulation.
+
+    Exactly one simulation may be active at a time; nesting would make the
+    hook call sites ambiguous about which scheduler owns the current thread.
+    """
+    global _active
+    if hard_disabled():
+        raise SimTestError(
+            f"simulation testing is disabled ({SIMTEST_ENV}="
+            f"{os.environ.get(SIMTEST_ENV)!r}); unset it to run simulations"
+        )
+    if _active is not None:
+        raise SimTestError("a simulation runtime is already active")
+    _active = runtime
+    os.environ[SIMTEST_ENV] = "on"
+
+
+def uninstall(runtime: "SimRuntime") -> None:
+    """Deactivate ``runtime``; a mismatch is a harness bug and raises."""
+    global _active
+    if _active is not runtime:
+        raise SimTestError("uninstall of a runtime that is not active")
+    _active = None
+    os.environ.pop(SIMTEST_ENV, None)

@@ -1,0 +1,138 @@
+"""Cancel-timing matrix: every moment a cancel can land, pinned exactly.
+
+The queue's cancellation contract has three regimes — guaranteed before
+dispatch, cooperative between flow steps, and a no-op after a terminal
+state.  Real threads can only probabilistically hit the middle regime, so
+the between-steps rows run under the deterministic simulation harness
+(``cancel@N`` fault at an exact step boundary) while the edge regimes are
+also exercised on the real executor pool with explicit gates.
+
+Every row asserts the *exact* final state, the legal state history, and
+that no per-job transport or SMPC meters survive the job (no orphans).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.algorithms  # noqa: F401
+from repro.core.experiment import ExperimentEngine, ExperimentStatus
+from repro.simtest.harness import SimSpec, run_simulation
+
+from tests.concurrency.test_stress import build_federation
+from tests.concurrency.test_regression import e5_request
+
+
+def orphaned_meters(federation) -> list[str]:
+    transport = federation.transport
+    with transport._stats_lock:
+        orphans = sorted(transport._job_stats)
+    cluster = federation.smpc_cluster
+    if cluster is not None:
+        with cluster._lock:
+            orphans.extend(sorted(cluster._job_meters))
+    return orphans
+
+
+class TestRealThreadEdges:
+    """The deterministic edges of the matrix on the real executor pool."""
+
+    def test_cancel_before_dispatch(self):
+        """Pool saturated by a gated job: the queued job's cancel is
+        guaranteed, immediate, and leaves zero meters behind."""
+        federation = build_federation()
+        engine = ExperimentEngine(federation, max_concurrent=1)
+        runner = engine.queue.runner
+        gate = threading.Event()
+        running = threading.Event()
+        real_execute = runner.execute
+
+        def gated_execute(request, experiment_id, **kwargs):
+            running.set()
+            assert gate.wait(timeout=60)
+            return real_execute(request, experiment_id, **kwargs)
+
+        runner.execute = gated_execute
+        try:
+            engine.submit(e5_request(), experiment_id="cm_blocker")
+            assert running.wait(timeout=60)
+            engine.submit(e5_request(), experiment_id="cm_queued")
+            assert engine.cancel("cm_queued") is True
+            result = engine.wait("cm_queued", timeout=60)
+        finally:
+            gate.set()
+            engine.wait("cm_blocker", timeout=300)
+            engine.shutdown(wait=True)
+        assert result.status is ExperimentStatus.CANCELLED
+        assert "before dispatch" in result.error
+        assert result.workers == ()
+        assert result.telemetry.messages == 0
+        assert engine.queue.job_histories()["cm_queued"] == (
+            "pending", "queued", "cancelled",
+        )
+        events = [e.event for e in federation.master.audit.events(job_id="cm_queued")]
+        assert "experiment_cancelled" in events
+        assert orphaned_meters(federation) == []
+
+    def test_cancel_after_terminal_is_refused(self):
+        """A finished job cannot be cancelled: cancel() returns False and
+        neither the state nor the history moves."""
+        federation = build_federation()
+        engine = ExperimentEngine(federation, max_concurrent=1)
+        try:
+            engine.submit(e5_request(), experiment_id="cm_done")
+            result = engine.wait("cm_done", timeout=300)
+            assert result.status is ExperimentStatus.SUCCESS, result.error
+            assert engine.cancel("cm_done") is False
+            history = engine.queue.job_histories()["cm_done"]
+            assert history == ("pending", "queued", "running", "success")
+            # The stored result is untouched by the refused cancel.
+            assert engine.get("cm_done").status is ExperimentStatus.SUCCESS
+        finally:
+            engine.shutdown(wait=True)
+        assert orphaned_meters(federation) == []
+
+
+class TestBetweenStepsMatrix:
+    """Cooperative cancellation at exact step boundaries, via simulation."""
+
+    @pytest.mark.parametrize("step", [1, 2, 3, 4])
+    def test_cancel_at_each_step_boundary(self, step):
+        report = run_simulation(
+            SimSpec.parse(f"seed=20;par=1;jobs=1;faults=cancel@{step}:job1")
+        )
+        assert report.ok, report.failures()
+        (result,) = report.results
+        # The flow may finish before late boundaries; when the cancel landed
+        # in time the outcome must be exactly CANCELLED with a legal history.
+        assert result.status.value in ("cancelled", "success")
+        if result.status.value == "cancelled":
+            assert "cancelled mid-flow" in result.error
+            assert f"fault cancel@{step}:job1 fired" in report.transcript
+        # report.ok above includes the meter-hygiene invariant: no orphans.
+
+    def test_mid_flow_cancel_exact_state(self):
+        """One pinned row: cancel at step 2 always lands mid-flow."""
+        report = run_simulation(
+            SimSpec.parse("seed=20;par=1;jobs=1;faults=cancel@2:job1")
+        )
+        assert report.ok, report.failures()
+        (result,) = report.results
+        assert result.status.value == "cancelled"
+        assert "cancelled mid-flow" in result.error
+        # Dispatch happened, so the job ran before it was cancelled.
+        assert result.workers != ()
+
+    def test_cancel_under_concurrency(self):
+        """Cancelling one of several in-flight jobs leaves the others'
+        results, telemetry and meters untouched."""
+        report = run_simulation(
+            SimSpec.parse("seed=21;par=2;jobs=3;faults=cancel@2:job2")
+        )
+        assert report.ok, report.failures()
+        by_id = {r.experiment_id: r for r in report.results}
+        assert by_id["sim_job_2"].status.value == "cancelled"
+        assert by_id["sim_job_1"].status.value == "success"
+        assert by_id["sim_job_3"].status.value == "success"

@@ -2,8 +2,11 @@
 
 import math
 
+import pytest
+
 from repro.engine.table import Schema, Table
 from repro.engine.types import SQLType
+from repro.errors import FederationError
 from repro.federation.serialization import (
     COLUMNAR_FORMAT,
     payload_elements,
@@ -67,6 +70,66 @@ class TestColumnarFormat:
         restored = table_from_payload(legacy)
         assert restored.schema == table.schema
         assert restored.to_rows() == table.to_rows()
+
+
+class TestAdversarialEdges:
+    """Payload shapes a hostile or future peer could put on the wire."""
+
+    def test_empty_mixed_table_round_trip(self):
+        restored = table_from_payload(table_to_payload(Table.empty(MIXED_SCHEMA)))
+        assert restored.num_rows == 0
+        assert restored.schema == MIXED_SCHEMA
+        assert payload_elements(table_to_payload(restored)) == 0
+
+    def test_all_null_columns_round_trip(self):
+        table = Table.from_rows(MIXED_SCHEMA, [
+            (None, None, None, None),
+            (None, None, None, None),
+        ])
+        restored = table_from_payload(table_to_payload(table))
+        for name in ("i", "r", "s", "b"):
+            assert restored.column(name).to_list() == [None, None]
+            assert restored.column(name).null_count == 2
+
+    def test_nan_normalizes_to_null_and_round_trips(self):
+        # The engine canonicalizes NaN to NULL at ingest (complete-case
+        # filtering must not see NaN); the wire must preserve that form and
+        # never resurrect a NaN out of a masked slot.
+        schema = Schema([("v", SQLType.REAL)])
+        table = Table.from_rows(schema, [(float("nan"),), (None,), (1.0,)])
+        assert table.column("v").null_count == 2
+        payload = table_to_payload(table)
+        assert not any(math.isnan(v) for v in payload["values"]["v"])
+        restored = table_from_payload(payload)
+        assert restored.column("v").to_list() == [None, None, 1.0]
+
+    def test_smuggled_nan_under_clear_mask_is_normalized(self):
+        # An adversarial payload carrying raw NaN with nulls=False must not
+        # leak NaN past the mask: decode folds it into NULL, same as ingest.
+        schema = Schema([("v", SQLType.REAL)])
+        payload = table_to_payload(Table.from_rows(schema, [(1.0,), (2.0,)]))
+        payload["values"]["v"] = [float("nan"), 2.0]
+        restored = table_from_payload(payload)
+        assert restored.column("v").to_list() == [None, 2.0]
+        assert restored.column("v").null_count == 1
+
+    def test_unknown_format_version_is_rejected(self):
+        payload = table_to_payload(_mixed_table())
+        payload["format"] = "columnar-v99"
+        with pytest.raises(FederationError, match="columnar-v99"):
+            table_from_payload(payload)
+
+    def test_unknown_format_not_silently_decoded_as_legacy(self):
+        # Even a payload that *also* carries legacy "rows" must be rejected
+        # once it declares a format this node does not understand.
+        table = _mixed_table()
+        payload = {
+            "format": "columnar-v99",
+            "columns": [(spec.name, spec.sql_type.value) for spec in table.schema],
+            "rows": table.to_rows(),
+        }
+        with pytest.raises(FederationError, match="unknown table payload format"):
+            table_from_payload(payload)
 
 
 class TestPayloadElements:

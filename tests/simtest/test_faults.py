@@ -1,0 +1,130 @@
+"""The fault DSL and the observable effect of each fault kind."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimTestError
+from repro.simtest.faults import Fault, FaultPlan
+from repro.simtest.harness import SimSpec, run_simulation
+
+
+class TestFaultParsing:
+    @pytest.mark.parametrize("text,kind,at,target,amount", [
+        ("drop@5", "drop", 5, None, 0.0),
+        ("drop@12:hospital_b", "drop", 12, "hospital_b", 0.0),
+        ("delay@3=0.25", "delay", 3, None, 0.25),
+        ("delay@3:hospital_a=0.01", "delay", 3, "hospital_a", 0.01),
+        ("crash@9:hospital_c", "crash", 9, "hospital_c", 0.0),
+        ("revive@40:hospital_c", "revive", 40, "hospital_c", 0.0),
+        ("cancel@0:job1", "cancel", 0, "job1", 0.0),
+        ("reorder@7", "reorder", 7, None, 0.0),
+    ])
+    def test_single_fault_round_trip(self, text, kind, at, target, amount):
+        (fault,) = FaultPlan.parse(text)
+        assert (fault.kind, fault.at, fault.target, fault.amount) == (
+            kind, at, target, amount,
+        )
+        assert fault.spec() == text
+
+    def test_plan_round_trip(self):
+        text = "drop@5,delay@3:hospital_a=0.25,cancel@2:job1"
+        assert FaultPlan.parse(text).spec() == text
+
+    def test_empty_plan(self):
+        assert FaultPlan.parse("none").spec() == "none"
+        assert FaultPlan.parse("").spec() == "none"
+        assert len(FaultPlan.parse("none")) == 0
+
+    @pytest.mark.parametrize("bad", [
+        "explode@3",            # unknown kind
+        "drop",                 # missing counter
+        "crash@5",              # crash needs a target
+        "cancel@5",             # cancel needs a job
+        "delay@5",              # delay needs an amount
+        "delay@5=0",            # ...a positive one
+        "drop@-1",              # negative counter
+    ])
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(SimTestError):
+            FaultPlan.parse(bad)
+
+    def test_without_removes_one_fault(self):
+        plan = FaultPlan.parse("drop@5,reorder@7,cancel@2:job1")
+        assert plan.without(1).spec() == "drop@5,cancel@2:job1"
+        assert len(plan) == 3  # immutable
+
+    def test_faults_are_value_objects(self):
+        assert Fault("drop", 5) == Fault("drop", 5)
+        assert Fault("drop", 5) != Fault("drop", 6)
+
+
+class TestFaultEffects:
+    def test_drop_fires_once_and_is_survived(self):
+        report = run_simulation(SimSpec.parse("seed=8;par=1;jobs=1;faults=drop@5"))
+        assert report.ok, report.failures()
+        assert report.transcript.count("fault drop@5 fired") == 1
+        assert report.results[0].status.value == "success"
+
+    def test_crash_without_revive_can_fail_the_job(self):
+        # Crashing a worker early with no revival: the flow either degrades
+        # or errors, but invariants must hold either way.
+        report = run_simulation(
+            SimSpec.parse("seed=8;par=1;jobs=1;faults=crash@2:hospital_b")
+        )
+        assert report.ok, report.failures()
+        assert "fault crash@2:hospital_b fired" in report.transcript
+
+    def test_crash_then_revive_restores_the_worker(self):
+        report = run_simulation(
+            SimSpec.parse(
+                "seed=8;par=2;jobs=2;faults=crash@8:hospital_c,revive@25:hospital_c"
+            )
+        )
+        assert report.ok, report.failures()
+        assert "fault revive@25:hospital_c fired" in report.transcript
+        # The worker came back in time: both experiments still succeed.
+        assert [r.status.value for r in report.results] == ["success", "success"]
+
+    def test_delay_charges_the_simulated_clock(self):
+        clean = run_simulation(SimSpec.parse("seed=8;par=1;jobs=1;faults=none"))
+        delayed = run_simulation(
+            SimSpec.parse("seed=8;par=1;jobs=1;faults=delay@4=0.25")
+        )
+        assert delayed.ok, delayed.failures()
+        extra = (
+            delayed.results[0].telemetry.simulated_network_seconds
+            - clean.results[0].telemetry.simulated_network_seconds
+        )
+        assert extra == pytest.approx(0.25, abs=1e-9)
+
+    def test_reorder_changes_fanout_order_only(self):
+        clean = run_simulation(SimSpec.parse("seed=8;par=1;jobs=1;faults=none"))
+        reordered = run_simulation(
+            SimSpec.parse("seed=8;par=1;jobs=1;faults=reorder@1")
+        )
+        assert reordered.ok, reordered.failures()
+        assert "fault reorder@1 fired" in reordered.transcript
+        # Same final answer; only the dispatch order moved.
+        assert reordered.results[0].status.value == "success"
+        assert clean.results[0].result == reordered.results[0].result
+
+    def test_predispatch_cancel_is_guaranteed(self):
+        report = run_simulation(
+            SimSpec.parse("seed=8;par=1;jobs=2;faults=cancel@0:job2")
+        )
+        assert report.ok, report.failures()
+        by_id = {r.experiment_id: r for r in report.results}
+        cancelled = by_id["sim_job_2"]
+        assert cancelled.status.value == "cancelled"
+        assert "before dispatch" in cancelled.error
+        assert cancelled.workers == ()
+        assert by_id["sim_job_1"].status.value == "success"
+
+    def test_targeted_drop_skips_other_receivers(self):
+        report = run_simulation(
+            SimSpec.parse("seed=8;par=1;jobs=1;faults=drop@1:hospital_c")
+        )
+        assert report.ok, report.failures()
+        fired = [l for l in report.transcript.splitlines() if l.startswith("fault ")]
+        assert fired == [] or all("receiver=hospital_c" in l for l in fired)

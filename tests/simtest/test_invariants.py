@@ -1,0 +1,160 @@
+"""The invariant checker: unit laws plus the deliberate-bug acceptance test.
+
+The headline test injects a telemetry-attribution bug (a test-only
+monkeypatch that leaks one message out of a job's per-job meter) and
+asserts the conservation invariant catches it and the shrinker reduces the
+failing scenario to a minimal single-line repro command.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.jobs import ExperimentQueue
+from repro.federation.transport import TransportStats
+from repro.simtest.fuzz import run_one, shrink
+from repro.simtest.harness import SimSpec, repro_command
+from repro.simtest.invariants import (
+    InvariantChecker,
+    InvariantReport,
+    _first_mismatch,
+)
+
+
+def _checker(**overrides) -> InvariantChecker:
+    """A checker wired for unit-testing one law at a time."""
+    kwargs = dict(
+        federation=None,
+        results=[],
+        histories={},
+        baseline=TransportStats(),
+        smpc_baseline=(0, 0),
+        privacy_baseline={},
+    )
+    kwargs.update(overrides)
+    return InvariantChecker(**kwargs)
+
+
+class TestLifecycleLaw:
+    @pytest.mark.parametrize("history", [
+        ("pending", "queued", "cancelled"),
+        ("pending", "queued", "running", "success"),
+        ("pending", "queued", "running", "error"),
+        ("pending", "queued", "running", "cancelled"),
+    ])
+    def test_legal_histories_pass(self, history):
+        report = InvariantReport()
+        _checker(histories={"j1": history})._check_lifecycle(report)
+        assert report.ok
+
+    @pytest.mark.parametrize("history", [
+        ("pending", "running", "success"),                          # skipped queued
+        ("pending", "queued", "running"),                           # never terminal
+        ("pending", "queued", "running", "cancelled", "running",
+         "success"),                                                # resurrection
+        ("pending", "queued", "success"),                           # never ran
+        ("pending", "queued", "running", "success", "error"),       # double terminal
+    ])
+    def test_illegal_histories_flagged(self, history):
+        report = InvariantReport()
+        _checker(histories={"j1": history})._check_lifecycle(report)
+        assert not report.ok
+        assert "j1" in report.failures()[0][1]
+
+
+class TestSecureAggregateLaw:
+    @staticmethod
+    def _share(node, step):
+        return {"event": "aggregate_shared", "node": node, "job_id": step,
+                "details": {"path": "smpc"}}
+
+    @staticmethod
+    def _aggregate(step, workers):
+        return {"event": "secure_aggregate", "node": "master", "job_id": step,
+                "details": {"workers": list(workers)}}
+
+    def test_shares_before_aggregate_pass(self):
+        problems: list[str] = []
+        events = [
+            self._share("hospital_a", "j1_s1"),
+            self._share("hospital_b", "j1_s1"),
+            self._aggregate("j1_read2", ["hospital_a", "hospital_b"]),
+        ]
+        _checker()._check_secure_aggregates("j1", events, problems)
+        assert problems == []
+
+    def test_aggregate_without_prior_share_flagged(self):
+        problems: list[str] = []
+        events = [
+            self._share("hospital_a", "j1_s1"),
+            self._aggregate("j1_read2", ["hospital_a", "hospital_b"]),
+        ]
+        _checker()._check_secure_aggregates("j1", events, problems)
+        assert problems == ["j1_read2: secure aggregate without shares from hospital_b"]
+
+    def test_each_aggregate_consumes_its_shares(self):
+        # Two aggregates cannot be fed by a single share per worker.
+        problems: list[str] = []
+        events = [
+            self._share("hospital_a", "j1_s1"),
+            self._aggregate("j1_read2", ["hospital_a"]),
+            self._aggregate("j1_read3", ["hospital_a"]),
+        ]
+        _checker()._check_secure_aggregates("j1", events, problems)
+        assert problems == ["j1_read3: secure aggregate without shares from hospital_a"]
+
+
+class TestEquivalenceComparator:
+    def test_close_floats_match(self):
+        assert _first_mismatch({"mean": 1.00000001}, {"mean": 1.0}) is None
+
+    def test_distant_floats_reported_with_path(self):
+        found = _first_mismatch({"stats": [{"mean": 2.0}]}, {"stats": [{"mean": 1.0}]})
+        assert found == "result.stats[0].mean: 2.0 != 1.0"
+
+    def test_nan_matches_nan(self):
+        assert _first_mismatch(float("nan"), float("nan")) is None
+
+    def test_key_sets_must_match(self):
+        assert "keys differ" in _first_mismatch({"a": 1}, {"b": 1})
+
+
+class TestInjectedAttributionBug:
+    """Acceptance: a deliberately broken per-job meter is caught and shrunk."""
+
+    @pytest.fixture()
+    def leaky_telemetry(self, monkeypatch):
+        """Test-only bug: every job's meter under-reports by one message."""
+        import dataclasses
+
+        real = ExperimentQueue._collect_telemetry
+
+        def leaky(self, experiment_id):
+            telemetry = real(self, experiment_id)
+            return dataclasses.replace(telemetry, messages=telemetry.messages - 1)
+
+        monkeypatch.setattr(ExperimentQueue, "_collect_telemetry", leaky)
+
+    def test_conservation_catches_it_and_shrinks_to_one_line(self, leaky_telemetry):
+        outcome = run_one(
+            SimSpec.parse("seed=31;par=4;jobs=3;faults=drop@6,reorder@9")
+        )
+        assert outcome.failed
+        assert any("telemetry-conservation" in line for line in outcome.failures())
+        shrunk = shrink(outcome.spec)
+        # The bug fires on every job regardless of faults or concurrency, so
+        # the shrinker must strip the scenario to its minimal form.
+        assert shrunk.faults.spec() == "none"
+        assert shrunk.jobs == 1
+        assert shrunk.parallelism == 1
+        command = repro_command(shrunk)
+        assert command == (
+            f"PYTHONPATH=src python -m repro fuzz --replay '{shrunk.spec()}'"
+        )
+        assert "\n" not in command
+
+    def test_same_scenario_is_clean_without_the_bug(self):
+        outcome = run_one(
+            SimSpec.parse("seed=31;par=4;jobs=3;faults=drop@6,reorder@9")
+        )
+        assert not outcome.failed, outcome.failures()
