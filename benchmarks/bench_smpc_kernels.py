@@ -44,7 +44,7 @@ def _payloads(n_elements: int, operation: str) -> dict[str, dict]:
 def _run_once(kernel: str, scheme: str, operation: str, n_elements: int):
     previous = field.set_kernel(kernel)
     try:
-        best = float("inf")
+        times: list[float] = []
         result = meter = None
         for _ in range(REPS):
             cluster = SMPCCluster(n_nodes=NODES, scheme=scheme, seed=7)
@@ -53,9 +53,9 @@ def _run_once(kernel: str, scheme: str, operation: str, n_elements: int):
             for worker, payload in payloads.items():
                 cluster.import_shares("job", worker, payload)
             result = cluster.aggregate("job")
-            best = min(best, time.perf_counter() - start)
+            times.append(time.perf_counter() - start)
             meter = (cluster.communication.rounds, cluster.communication.elements)
-        return best, result, meter
+        return min(times), result, meter, times
     finally:
         field.set_kernel(previous)
 
@@ -77,12 +77,13 @@ def test_kernel_speedup_table():
         "reps": REPS,
         "rows": [],
     }
+    headline_samples: list[float] = []
     for scheme in SCHEMES:
         for operation in OPS:
             n = ELEMENTS if operation == "sum" else SMALL_OPS_ELEMENTS
-            t_py, r_py, m_py = _run_once("python", scheme, operation, n)
-            t_np, r_np, m_np = _run_once("numpy", scheme, operation, n)
-            t_auto, r_auto, m_auto = _run_once("auto", scheme, operation, n)
+            t_py, r_py, m_py, _ = _run_once("python", scheme, operation, n)
+            t_np, r_np, m_np, np_times = _run_once("numpy", scheme, operation, n)
+            t_auto, r_auto, m_auto, _ = _run_once("auto", scheme, operation, n)
             # The tentpole acceptance: bit-exact opened values and unchanged
             # SMPC telemetry under both kernels (and the auto router).
             assert r_py == r_np == r_auto, (
@@ -111,6 +112,7 @@ def test_kernel_speedup_table():
             )
             if scheme == "shamir" and operation == "sum":
                 summary["headline_speedup"] = round(speedup, 3)
+                headline_samples = np_times
     lines += [
         "",
         "sum rows are the 10k-element headline; min/union are bit-decomposed",
@@ -120,6 +122,23 @@ def test_kernel_speedup_table():
         "identically, so its speedup is bounded by the draw cost.",
     ]
     write_report("BENCH_smpc_kernels", lines)
+    # Fold in the stable SLO-gate schema (``repro health`` reads name /
+    # config / samples / p50 / p95 / wall_s) on top of the detailed table:
+    # the headline is the shamir 10k-sum under the numpy limb kernel.
+    from repro.observability.slo import BenchResult
+
+    stable = BenchResult.from_samples(
+        "smpc_kernels",
+        headline_samples,
+        config={
+            "scheme": "shamir",
+            "operation": "sum",
+            "elements": ELEMENTS,
+            "nodes": NODES,
+            "kernel": "numpy",
+        },
+    )
+    summary.update(stable.to_dict())
     (RESULTS_DIR / "BENCH_smpc_kernels.json").write_text(
         json.dumps(summary, indent=2) + "\n"
     )

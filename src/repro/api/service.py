@@ -201,6 +201,12 @@ class MIPService:
             yield ("repro_queue_failed_total", {}, float(stats["failed_total"]))
             yield ("repro_queue_cancelled_total", {}, float(stats["cancelled_total"]))
             yield ("repro_queue_wait_seconds_total", {}, stats["wait_seconds_total"])
+            for name, labels, value in queue.latency.samples():
+                yield (name, labels, value)
+            for key, q in (("p50", 0.5), ("p95", 0.95)):
+                estimate = queue.latency.quantile(q)
+                if estimate is not None:
+                    yield (f"repro_experiment_duration_{key}_seconds", {}, estimate)
 
         registry.register_collector(queue_samples)
         return registry
@@ -212,6 +218,44 @@ class MIPService:
     def render_metrics(self) -> str:
         """The Prometheus text exposition of the unified registry."""
         return self.metrics_registry().render_prometheus()
+
+    def critical_path(
+        self, experiment_id: str | None = None, clock: str = "wall"
+    ) -> dict[str, Any] | None:
+        """Where one experiment's time went (the blocking chain).
+
+        With ``experiment_id`` the finished result's stored analysis is
+        returned (falling back to re-analyzing the live trace buffer);
+        without it the heaviest ``experiment`` root currently in the buffer
+        is analyzed.  ``None`` means no trace exists — the tracer was off.
+        """
+        from repro.observability.critical_path import analyze, analyze_experiment
+
+        if experiment_id is not None:
+            result = self.engine.get(experiment_id)
+            if result.critical_path is not None:
+                return result.critical_path
+            report = analyze_experiment(experiment_id, clock=clock)
+            return report.to_dict() if report is not None else None
+        report = analyze(clock=clock, root_name="experiment")
+        return report.to_dict() if report.segments else None
+
+    def latency_quantiles(self) -> dict[str, float | None]:
+        """p50/p95/p99 experiment wall time off the queue's histogram."""
+        from repro.observability.slo import quantiles_from_histogram
+
+        return quantiles_from_histogram(self.engine.queue.latency)
+
+    def attach_profiler(self, profiler) -> bool:
+        """Attach (and start) a sampling profiler for per-job profiles.
+
+        Returns False when the profiler refused to start (an active
+        simulation owns all scheduling); the queue then stays unprofiled.
+        """
+        if not profiler.start():
+            return False
+        self.engine.queue.profiler = profiler
+        return True
 
     def audit_events(
         self, experiment_id: str | None = None, event: str | None = None

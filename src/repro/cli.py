@@ -20,6 +20,9 @@ Examples::
     python -m repro submit --algorithm descriptive_stats -y lefthippocampus --no-wait
     python -m repro jobs --algorithm descriptive_stats -y lefthippocampus --repeat 6 --pool 3
     python -m repro cancel --algorithm descriptive_stats -y lefthippocampus --repeat 4
+    python -m repro profile --algorithm linear_regression \\
+        -y lefthippocampus -x agevalue --out-dir profile-out
+    python -m repro health --results-dir benchmarks/results --strict
 """
 
 from __future__ import annotations
@@ -63,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the trace to a file instead of stdout")
     trace.add_argument("--audit", action="store_true",
                        help="include the experiment's privacy audit trail")
+    trace.add_argument("--min-ms", type=float, default=0.0, metavar="MS",
+                       help="tree format: hide spans shorter than MS "
+                            "milliseconds (ancestors of kept spans survive)")
+    trace.add_argument("--top", type=int, default=None, metavar="N",
+                       help="tree format: keep only each span's N slowest "
+                            "children (pruned ones are counted, not lost)")
     metrics = subcommands.add_parser(
         "metrics", help="run an experiment and render the unified metrics"
     )
@@ -90,6 +99,50 @@ def build_parser() -> argparse.ArgumentParser:
         subparser.add_argument("--repeat", type=int, default=4,
                                help="number of experiments to submit (default 4)")
 
+    profile = subcommands.add_parser(
+        "profile",
+        help="run under the sampling profiler; export a flamegraph and the "
+             "critical-path report",
+    )
+    profile.add_argument("script", nargs="?", default=None, metavar="SCRIPT",
+                         help="python script to profile instead of a "
+                              "federated experiment (e.g. examples/quickstart.py)")
+    profile.add_argument("--hz", type=float, default=None,
+                         help="sampling rate (default 97 Hz)")
+    profile.add_argument("--out-dir", default="profile-out", metavar="DIR",
+                         help="directory for flamegraph.collapsed, "
+                              "profile.speedscope.json and critical_path.json "
+                              "(default profile-out/)")
+    profile.add_argument("--clock", choices=("wall", "sim"), default="wall",
+                         help="critical-path clock: real time (default) or "
+                              "the transport's modeled network seconds")
+
+    health = subcommands.add_parser(
+        "health",
+        help="evaluate bench snapshots against committed SLO baselines",
+    )
+    health.add_argument("--results-dir", default="benchmarks/results",
+                        metavar="DIR",
+                        help="directory holding BENCH_*.json snapshots "
+                             "(default benchmarks/results)")
+    health.add_argument("--baseline-dir", default=None, metavar="DIR",
+                        help="directory holding BASELINE_*.json files "
+                             "(default: the results dir)")
+    health.add_argument("--warn-pct", type=float, default=10.0,
+                        help="warn when a latency metric regresses more than "
+                             "this percentage (default 10)")
+    health.add_argument("--fail-pct", type=float, default=20.0,
+                        help="fail when a latency metric regresses more than "
+                             "this percentage (default 20)")
+    health.add_argument("--strict", action="store_true",
+                        help="also exit nonzero on warnings and missing runs")
+    health.add_argument("--update-baselines", action="store_true",
+                        help="fold the current results into the rolling "
+                             "baselines before evaluating")
+    health.add_argument("--window", type=int, default=10,
+                        help="rolling-baseline window size (default 10 runs)")
+    health.add_argument("--format", choices=("text", "json"), default="text")
+
     fuzz = subcommands.add_parser(
         "fuzz",
         help="fuzz the deterministic simulation harness "
@@ -110,8 +163,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="append the scenarios this session ran to a "
                            "corpus file")
 
-    for subparser in (run, trace, metrics, submit, jobs, cancel):
-        subparser.add_argument("--algorithm", required=True)
+    for subparser in (run, trace, metrics, submit, jobs, cancel, profile):
+        # `repro profile` can take a script instead of an experiment.
+        subparser.add_argument("--algorithm", required=subparser is not profile)
         subparser.add_argument("--data-model", default="dementia")
         subparser.add_argument("--datasets", nargs="*", default=None,
                                help="dataset codes (default: all available)")
@@ -260,7 +314,12 @@ def command_trace(args: argparse.Namespace) -> int:
             if args.audit:
                 output["audit"] = list(result.audit)
         else:
-            output = {"trace": tracer.span_tree()}
+            from repro.observability.trace import filter_tree
+
+            roots = tracer.span_tree()
+            if args.min_ms or args.top is not None:
+                roots = filter_tree(roots, min_ms=args.min_ms, top=args.top)
+            output = {"trace": roots}
             if args.audit:
                 output["audit"] = list(result.audit)
         text = json.dumps(output, indent=2, default=str)
@@ -381,6 +440,95 @@ def command_cancel(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_profile(args: argparse.Namespace) -> int:
+    """`repro profile`: sample a run, export flamegraph + critical path.
+
+    Profiles either a federated experiment (the ``run`` flags) or an
+    arbitrary Python script (positional path).  Writes
+    ``flamegraph.collapsed`` (flamegraph.pl / inferno / speedscope input),
+    ``profile.speedscope.json`` and ``critical_path.json`` into
+    ``--out-dir`` and prints the critical-path report.
+    """
+    import pathlib
+
+    from repro.observability.profiler import DEFAULT_HZ, SamplingProfiler
+    from repro.observability.trace import tracer
+
+    if args.script is None and not args.algorithm:
+        raise SystemExit("repro profile needs a SCRIPT path or --algorithm")
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    profiler = SamplingProfiler(hz=args.hz or DEFAULT_HZ)
+    was_enabled = tracer.enabled
+    tracer.reset()
+    tracer.enable()
+    exit_code = 0
+    try:
+        if not profiler.start():
+            print("warning: profiler refused to start (simulation active); "
+                  "collecting the trace only", file=sys.stderr)
+        if args.script is not None:
+            import runpy
+
+            runpy.run_path(args.script, run_name="__main__")
+            root_name = None
+        else:
+            service = build_service(args)
+            result = _run_one_experiment(args, service)
+            exit_code = 0 if result.status.value == "success" else 1
+            root_name = "experiment"
+        profiler.stop()
+        report = tracer.critical_path(clock=args.clock, root_name=root_name)
+    finally:
+        profiler.stop()
+        if not was_enabled:
+            tracer.disable()
+
+    (out_dir / "flamegraph.collapsed").write_text(profiler.collapsed())
+    (out_dir / "profile.speedscope.json").write_text(
+        json.dumps(profiler.speedscope(name=args.script or args.algorithm), indent=2)
+        + "\n"
+    )
+    (out_dir / "critical_path.json").write_text(report.to_json() + "\n")
+    print(report.render())
+    summary = profiler.summary()
+    print(
+        f"\nprofile: {summary['ticks']} ticks at {summary['hz']:g} Hz, "
+        f"{summary['unique_stacks']} unique stacks, "
+        f"artifacts in {out_dir}/", file=sys.stderr
+    )
+    return exit_code
+
+
+def command_health(args: argparse.Namespace) -> int:
+    """`repro health`: bench snapshots vs. SLO baselines; exit 1 on regression.
+
+    ``--strict`` additionally fails on warnings and on baselines with no
+    current bench run (the CI perf-gate mode).  ``--update-baselines``
+    folds the current results into the rolling windows first — run it
+    locally, then commit the refreshed ``BASELINE_*.json`` files.
+    """
+    from repro.observability import slo
+
+    baseline_dir = args.baseline_dir or args.results_dir
+    if args.update_baselines:
+        store = slo.BaselineStore(baseline_dir)
+        for result in slo.load_bench_results(args.results_dir):
+            store.update(result, window=args.window)
+            print(f"updated {store.path(result.name)}", file=sys.stderr)
+    report = slo.evaluate(
+        args.results_dir,
+        baseline_dir,
+        warn_pct=args.warn_pct,
+        fail_pct=args.fail_pct,
+    )
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return report.exit_code(strict=args.strict)
+
+
 def command_fuzz(args: argparse.Namespace) -> int:
     """`repro fuzz`: randomized simulation search, replay, corpus runs.
 
@@ -447,6 +595,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "submit": command_submit,
         "jobs": command_jobs,
         "cancel": command_cancel,
+        "profile": command_profile,
+        "health": command_health,
         "fuzz": command_fuzz,
     }
     try:

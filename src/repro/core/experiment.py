@@ -74,6 +74,14 @@ class ExperimentResult:
     audit: tuple = ()
     #: Workers evicted mid-flow by the failure policy (empty on clean runs).
     evicted: tuple[str, ...] = ()
+    #: Critical-path analysis of this experiment's span tree (populated by
+    #: the queue when the tracer was enabled for the run; see
+    #: :mod:`repro.observability.critical_path`).
+    critical_path: dict[str, Any] | None = None
+    #: Collapsed-stack profiler samples attributed to this job (populated
+    #: when a :class:`~repro.observability.profiler.SamplingProfiler` is
+    #: attached to the queue).
+    profile: str | None = None
 
 
 class ExperimentEngine:

@@ -38,8 +38,16 @@ from repro.errors import (
 from repro.federation import transport as transport_mod
 from repro.federation.messages import new_job_id
 from repro.observability.audit import merged_events
+from repro.observability.critical_path import analyze_experiment
+from repro.observability.metrics import Histogram
 from repro.observability.trace import NULL_SPAN, tracer
 from repro.simtest import hooks as sim_hooks
+
+#: Experiment wall-time buckets for the queue's latency histogram, sized for
+#: the sub-second to tens-of-seconds range federated flows live in.
+_LATENCY_BUCKETS = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, float("inf")
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.runner import ExperimentRunner
@@ -242,6 +250,17 @@ class ExperimentQueue:
         self._running_count = 0
         self._threads: list[threading.Thread] = []
         self._shutdown = False
+        #: Finished-experiment wall times; ``repro health`` and the SLO
+        #: layer estimate latency percentiles from these buckets.
+        self.latency = Histogram(
+            "repro_experiment_duration_seconds",
+            "Wall time of finished experiments (success, error or cancelled).",
+            buckets=_LATENCY_BUCKETS,
+        )
+        #: An attached :class:`~repro.observability.profiler.SamplingProfiler`;
+        #: when set (and running), every finished job carries its own
+        #: collapsed-stack profile on ``ExperimentResult.profile``.
+        self.profiler = None
         # Lifetime counters for the unified metrics registry.
         self._submitted_total = 0
         self._succeeded_total = 0
@@ -452,6 +471,8 @@ class ExperimentQueue:
 
     def _finalize_locked(self, job: _Job, result) -> None:
         job.finished_wall = time.perf_counter()
+        if job.started_wall is not None:
+            self.latency.observe(job.finished_wall - job.started_wall)
         job.set_state(JobState(result.status.value))
         if job.state is JobState.SUCCESS:
             self._succeeded_total += 1
@@ -545,6 +566,13 @@ class ExperimentQueue:
         result.audit = tuple(
             merged_events(federation.audit_logs(), job_id=experiment_id)
         )
+        if tracer.enabled:
+            report = analyze_experiment(experiment_id)
+            if report is not None:
+                result.critical_path = report.to_dict()
+        profiler = self.profiler
+        if profiler is not None:
+            result.profile = profiler.collapsed(job=experiment_id)
         self._drop_job_meters(experiment_id)
         return result
 

@@ -51,6 +51,7 @@ from repro.errors import (
 from repro.federation.messages import Message
 from repro.federation.policy import RetryPolicy
 from repro.federation.serialization import payload_elements
+from repro.observability import profiler as profiler_mod
 from repro.observability.trace import tracer
 from repro.simtest import hooks as sim_hooks
 
@@ -77,11 +78,18 @@ _CURRENT_JOB: contextvars.ContextVar["str | None"] = contextvars.ContextVar(
 
 @contextlib.contextmanager
 def job_scope(job_id: str) -> Iterator[None]:
-    """Attribute all transport traffic in this context to ``job_id``."""
+    """Attribute all transport traffic in this context to ``job_id``.
+
+    The scope also binds the calling thread in the sampling profiler's
+    attribution registry, so a profile taken across concurrent experiments
+    can be filtered down to this job's samples.
+    """
     token = _CURRENT_JOB.set(job_id)
+    profile_token = profiler_mod.bind_current_thread(job_id)
     try:
         yield
     finally:
+        profiler_mod.unbind_thread(profile_token)
         _CURRENT_JOB.reset(token)
 
 
@@ -345,12 +353,20 @@ class Transport:
 
         def attempt(index: int) -> tuple[Any, float]:
             receiver, kind, payload = requests[index]
-            with tracer.span(
-                "transport.send", parent=group_span, receiver=receiver, kind=kind
-            ) as span:
-                return self._run_schedule(
-                    sender, receiver, kind, payload, schedules[index], span, job
-                )
+            # Pool threads work on the job's behalf for the duration of one
+            # send; bind them so profiler samples attribute correctly.
+            profile_token = (
+                profiler_mod.bind_current_thread(job) if job is not None else None
+            )
+            try:
+                with tracer.span(
+                    "transport.send", parent=group_span, receiver=receiver, kind=kind
+                ) as span:
+                    return self._run_schedule(
+                        sender, receiver, kind, payload, schedules[index], span, job
+                    )
+            finally:
+                profiler_mod.unbind_thread(profile_token)
 
         sim = sim_hooks.current()
         with group_span:

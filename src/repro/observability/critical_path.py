@@ -1,0 +1,460 @@
+"""Critical-path analysis over finished span trees.
+
+A federated flow is a tree of spans: serial steps nest, fan-outs open one
+child per worker in parallel pool threads, retries stack extra attempts
+inside a send.  Raw traces answer "what happened"; this module answers the
+operator question "*where did the time go and what would make it faster*":
+
+- **The blocking chain.**  Starting from a root span's end instant and
+  walking backwards, the *blocker* at any moment is the child that finished
+  last before it — shrinking a non-blocking sibling cannot move the root's
+  end.  Recursing into each blocker tiles the root's duration into
+  :class:`PathSegment`\\ s, each attributed either to a span's own work or
+  to a gap of parent self-time.  By construction the segment durations sum
+  to the root duration exactly (the ±1% acceptance reconciliation allows
+  for float rounding in exported traces).
+- **Self vs. wait attribution.**  Per span *kind* (the span name), how much
+  of the total time was the span's own work (duration minus the merged
+  coverage of its children) versus waiting on children.  A fan-out span
+  with near-zero self time is pure coordination; one with large self time
+  is doing master-side work worth profiling.
+- **Straggler ranking.**  Spans carrying a ``receiver``/``worker``/``node``
+  attribute are grouped per worker; the ranking shows which hospital node
+  the flow spent its time on, and the straggler factor (slowest over
+  median) quantifies imbalance a rebalancing planner could reclaim.
+
+The analyzer is pure: it consumes the nested dicts of
+:meth:`~repro.observability.trace.Tracer.span_tree` (or a JSON trace loaded
+back from disk) and touches no live tracer state.  Both clocks work —
+``clock="wall"`` for real time, ``clock="sim"`` for the transport's modeled
+network seconds (where a span can legitimately have zero width).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+#: Tolerance for "ends at the same instant" comparisons, in clock seconds.
+_EPS = 1e-9
+
+#: Span attributes that identify the worker/node a span talks to, in
+#: precedence order.
+_WORKER_ATTRIBUTES = ("receiver", "worker", "node")
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One tile of the blocking chain through a trace."""
+
+    name: str
+    span_id: int | None
+    start: float
+    end: float
+    #: ``"span"`` for time inside the named span's own frame, ``"self"``
+    #: for a gap where the parent itself was the blocker.
+    kind: str = "span"
+    worker: str | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "start": round(self.start, 9),
+            "end": round(self.end, 9),
+            "duration": round(self.duration, 9),
+            "kind": self.kind,
+            "worker": self.worker,
+        }
+
+
+@dataclass
+class KindAttribution:
+    """Aggregate self/wait attribution for one span kind."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    self_time: float = 0.0
+    critical: float = 0.0
+
+    @property
+    def wait_time(self) -> float:
+        return max(0.0, self.total - self.self_time)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_s": round(self.total, 9),
+            "self_s": round(self.self_time, 9),
+            "wait_s": round(self.wait_time, 9),
+            "critical_s": round(self.critical, 9),
+        }
+
+
+@dataclass
+class WorkerAttribution:
+    """Time spent in spans addressed to one worker."""
+
+    worker: str
+    count: int = 0
+    total: float = 0.0
+    critical: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "worker": self.worker,
+            "count": self.count,
+            "total_s": round(self.total, 9),
+            "critical_s": round(self.critical, 9),
+        }
+
+
+@dataclass
+class CriticalPathReport:
+    """The analyzer's output: chain, attributions, ranking, reconciliation."""
+
+    clock: str
+    root_name: str
+    root_duration: float
+    segments: list[PathSegment] = field(default_factory=list)
+    by_kind: list[KindAttribution] = field(default_factory=list)
+    workers: list[WorkerAttribution] = field(default_factory=list)
+
+    @property
+    def chain_duration(self) -> float:
+        return sum(segment.duration for segment in self.segments)
+
+    @property
+    def reconciliation(self) -> float:
+        """Chain coverage of the root duration (1.0 = exact tiling)."""
+        if self.root_duration <= 0:
+            return 1.0
+        return self.chain_duration / self.root_duration
+
+    @property
+    def straggler_factor(self) -> float:
+        """Slowest worker's total over the median worker's total."""
+        totals = sorted(w.total for w in self.workers if w.total > 0)
+        if not totals:
+            return 1.0
+        median = totals[len(totals) // 2]
+        return totals[-1] / median if median > 0 else 1.0
+
+    def top_segments(self, n: int = 5) -> list[dict[str, Any]]:
+        """The chain's heaviest (name, worker) groups, largest share first."""
+        grouped: dict[tuple[str, str | None], float] = {}
+        for segment in self.segments:
+            label = segment.name if segment.kind == "span" else f"{segment.name} (self)"
+            key = (label, segment.worker)
+            grouped[key] = grouped.get(key, 0.0) + segment.duration
+        ranked = sorted(grouped.items(), key=lambda item: -item[1])[:n]
+        out = []
+        for (label, worker), seconds in ranked:
+            share = seconds / self.root_duration if self.root_duration > 0 else 0.0
+            out.append(
+                {
+                    "name": label,
+                    "worker": worker,
+                    "seconds": round(seconds, 9),
+                    "share": round(share, 4),
+                }
+            )
+        return out
+
+    def headline(self) -> str:
+        """One operator-facing sentence: the dominant chain contributor."""
+        top = self.top_segments(1)
+        if not top:
+            return f"{self.root_name}: empty critical path"
+        entry = top[0]
+        where = f" on {entry['worker']}" if entry["worker"] else ""
+        return (
+            f"{self.root_name} spent {entry['share']:.0%} of "
+            f"{self.root_duration:.4g}s in {entry['name']}{where}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "clock": self.clock,
+            "root": self.root_name,
+            "root_duration_s": round(self.root_duration, 9),
+            "chain_duration_s": round(self.chain_duration, 9),
+            "reconciliation": round(self.reconciliation, 6),
+            "straggler_factor": round(self.straggler_factor, 4),
+            "headline": self.headline(),
+            "top": self.top_segments(),
+            "segments": [segment.to_dict() for segment in self.segments],
+            "by_kind": [kind.to_dict() for kind in self.by_kind],
+            "workers": [worker.to_dict() for worker in self.workers],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    def render(self, top: int = 10) -> str:
+        """A terminal-friendly report: headline, chain table, rankings."""
+        lines = [self.headline(), ""]
+        lines.append(
+            f"critical path — {len(self.segments)} segments, "
+            f"{self.chain_duration:.4g}s of {self.root_duration:.4g}s "
+            f"({self.reconciliation:.1%} reconciled, {self.clock} clock)"
+        )
+        lines.append(f"{'share':>7}  {'seconds':>10}  segment")
+        for entry in self.top_segments(top):
+            where = f" @ {entry['worker']}" if entry["worker"] else ""
+            lines.append(
+                f"{entry['share']:>6.1%}  {entry['seconds']:>10.4g}  "
+                f"{entry['name']}{where}"
+            )
+        if self.by_kind:
+            lines.append("")
+            lines.append(
+                f"{'kind':<24}{'count':>6}{'total s':>10}{'self s':>10}"
+                f"{'wait s':>10}{'critical s':>12}"
+            )
+            for kind in self.by_kind[:top]:
+                lines.append(
+                    f"{kind.name:<24}{kind.count:>6}{kind.total:>10.4g}"
+                    f"{kind.self_time:>10.4g}{kind.wait_time:>10.4g}"
+                    f"{kind.critical:>12.4g}"
+                )
+        if self.workers:
+            lines.append("")
+            lines.append(
+                f"workers by time (straggler factor {self.straggler_factor:.2f}):"
+            )
+            for worker in self.workers[:top]:
+                lines.append(
+                    f"  {worker.worker:<20}{worker.total:>10.4g}s total"
+                    f"{worker.critical:>10.4g}s on the critical path"
+                )
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------- tree access
+
+
+def _window(node: Mapping[str, Any], clock: str) -> tuple[float, float] | None:
+    """A node's (start, end) under the chosen clock, or None if unfinished."""
+    start = node.get(f"start_{clock}")
+    end = node.get(f"end_{clock}")
+    if start is None or end is None:
+        return None
+    return float(start), max(float(start), float(end))
+
+
+def _worker_of(node: Mapping[str, Any]) -> str | None:
+    attributes = node.get("attributes") or {}
+    for key in _WORKER_ATTRIBUTES:
+        value = attributes.get(key)
+        if value is not None:
+            return str(value)
+    return None
+
+
+def _children(node: Mapping[str, Any]) -> Iterable[Mapping[str, Any]]:
+    return node.get("children") or ()
+
+
+def _merged_coverage(intervals: list[tuple[float, float]]) -> float:
+    """Total length of the union of intervals (children may overlap)."""
+    if not intervals:
+        return 0.0
+    covered = 0.0
+    current_start, current_end = None, None
+    for start, end in sorted(intervals):
+        if current_end is None or start > current_end + _EPS:
+            if current_end is not None:
+                covered += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    if current_end is not None:
+        covered += current_end - current_start
+    return covered
+
+
+# ----------------------------------------------------------------- the chain
+
+
+def _chain(node: Mapping[str, Any], clock: str,
+           clip: tuple[float, float]) -> list[PathSegment]:
+    """Tile ``node``'s clipped window into blocking-chain segments.
+
+    Walks backwards from the window's end: the blocker at instant ``t`` is
+    the child with the latest end at or before ``t``; the gap between that
+    child's end and ``t`` is the node's own (self) time.  Children entirely
+    overlapped by an already-chosen blocker end after the shrinking ``t``
+    and drop out naturally — they are the parallel, non-blocking siblings.
+    """
+    window = _window(node, clock)
+    if window is None:
+        return []
+    start = max(window[0], clip[0])
+    end = min(window[1], clip[1])
+    if end <= start + _EPS:
+        # Zero-width under this clock (common for sim time): one marker
+        # segment so the span still appears in the chain with zero cost.
+        return [PathSegment(node["name"], node.get("span_id"), start, start,
+                            worker=_worker_of(node))]
+    name = node["name"]
+    span_id = node.get("span_id")
+    worker = _worker_of(node)
+
+    candidates = []
+    for child in _children(node):
+        child_window = _window(child, clock)
+        if child_window is None:
+            continue
+        child_start = max(child_window[0], start)
+        child_end = min(child_window[1], end)
+        if child_end > child_start - _EPS:
+            candidates.append((child_end, child_start, child))
+    candidates.sort(key=lambda item: item[0])
+    # A childless (leaf) node's remaining time is its own frame, not a
+    # "self" gap between children.
+    leaf = not candidates
+
+    reversed_segments: list[PathSegment] = []
+    t = end
+    while candidates:
+        # Blocker: the last finisher at or before t.
+        while candidates and candidates[-1][0] > t + _EPS:
+            candidates.pop()
+        if not candidates:
+            break
+        child_end, child_start, child = candidates.pop()
+        child_end = min(child_end, t)
+        if child_end < t - _EPS:
+            reversed_segments.append(
+                PathSegment(name, span_id, child_end, t, kind="self", worker=worker)
+            )
+        sub = _chain(child, clock, (child_start, child_end))
+        reversed_segments.extend(reversed(sub))
+        t = min(t, child_start)
+        if t <= start + _EPS:
+            break
+    if t > start + _EPS:
+        reversed_segments.append(
+            PathSegment(name, span_id, start, t,
+                        kind="span" if leaf else "self", worker=worker)
+        )
+    segments = list(reversed(reversed_segments))
+    if not segments:
+        segments = [PathSegment(name, span_id, start, end, worker=worker)]
+    return segments
+
+
+def _walk(node: Mapping[str, Any], clock: str,
+          kinds: dict[str, KindAttribution],
+          workers: dict[str, WorkerAttribution]) -> None:
+    window = _window(node, clock)
+    if window is None:
+        return
+    duration = window[1] - window[0]
+    child_intervals = []
+    for child in _children(node):
+        child_window = _window(child, clock)
+        if child_window is not None:
+            clipped = (max(child_window[0], window[0]), min(child_window[1], window[1]))
+            if clipped[1] > clipped[0]:
+                child_intervals.append(clipped)
+        _walk(child, clock, kinds, workers)
+    self_time = max(0.0, duration - _merged_coverage(child_intervals))
+
+    kind = kinds.setdefault(node["name"], KindAttribution(node["name"]))
+    kind.count += 1
+    kind.total += duration
+    kind.self_time += self_time
+
+    worker_id = _worker_of(node)
+    if worker_id is not None:
+        worker = workers.setdefault(worker_id, WorkerAttribution(worker_id))
+        worker.count += 1
+        worker.total += duration
+
+
+# -------------------------------------------------------------------- facade
+
+
+def analyze(
+    roots: "list[Mapping[str, Any]] | Mapping[str, Any] | None" = None,
+    clock: str = "wall",
+    root_name: str | None = None,
+) -> CriticalPathReport:
+    """Analyze a span tree; the report covers the heaviest matching root.
+
+    ``roots`` accepts :meth:`Tracer.span_tree` output (a list of root
+    nodes), one root node, or ``None`` for the process tracer's current
+    buffer.  ``root_name`` restricts the analysis to roots of that span
+    name (e.g. ``"experiment"``, skipping ``experiment.queued`` roots).
+    """
+    if clock not in ("wall", "sim"):
+        raise ValueError(f"unknown clock {clock!r} (use 'wall' or 'sim')")
+    if roots is None:
+        from repro.observability.trace import tracer
+
+        roots = tracer.span_tree()
+    if isinstance(roots, Mapping):
+        roots = [roots]
+    candidates = [
+        (window[1] - window[0], root)
+        for root in roots
+        for window in (_window(root, clock),)
+        if window is not None and (root_name is None or root["name"] == root_name)
+    ]
+    if not candidates:
+        return CriticalPathReport(clock=clock, root_name=root_name or "(no trace)",
+                                  root_duration=0.0)
+    duration, root = max(candidates, key=lambda item: item[0])
+    window = _window(root, clock)
+    assert window is not None
+    segments = _chain(root, clock, window)
+
+    kinds: dict[str, KindAttribution] = {}
+    workers: dict[str, WorkerAttribution] = {}
+    _walk(root, clock, kinds, workers)
+    # Critical seconds per kind / worker come from the chain itself.
+    for segment in segments:
+        kind = kinds.setdefault(segment.name, KindAttribution(segment.name))
+        kind.critical += segment.duration
+        if segment.worker is not None:
+            worker = workers.setdefault(
+                segment.worker, WorkerAttribution(segment.worker)
+            )
+            worker.critical += segment.duration
+
+    return CriticalPathReport(
+        clock=clock,
+        root_name=root["name"],
+        root_duration=duration,
+        segments=segments,
+        by_kind=sorted(kinds.values(), key=lambda k: -k.critical),
+        workers=sorted(workers.values(), key=lambda w: -w.total),
+    )
+
+
+def analyze_experiment(experiment_id: str, clock: str = "wall") -> CriticalPathReport | None:
+    """The critical path of one experiment's root span in the live tracer.
+
+    Returns ``None`` when the tracer holds no finished root span whose
+    ``experiment`` attribute matches — e.g. tracing was off for the run.
+    """
+    from repro.observability.trace import tracer
+
+    matching = [
+        root
+        for root in tracer.span_tree()
+        if root["name"] == "experiment"
+        and (root.get("attributes") or {}).get("experiment") == experiment_id
+    ]
+    if not matching:
+        return None
+    return analyze(matching, clock=clock)

@@ -126,6 +126,12 @@ class Histogram(_Instrument):
                 if value <= bound:
                     counts[index] += 1
                     break
+            else:
+                # NaN compares False against every bound, +Inf included; it
+                # must still land in the overflow bucket or the cumulative
+                # +Inf count would disagree with ``_count`` (the Prometheus
+                # invariant ``le="+Inf" == _count``).
+                counts[-1] += 1
             self._sums[key] = self._sums.get(key, 0.0) + value
             self._totals[key] = self._totals.get(key, 0) + 1
 
@@ -159,6 +165,59 @@ class Histogram(_Instrument):
             out.append((f"{self.name}_sum", labels, snap["sum"]))
             out.append((f"{self.name}_count", labels, snap["count"]))
         return out
+
+    def quantile(self, q: float, **labels: Any) -> float | None:
+        """Estimate the ``q``-quantile from this histogram's buckets.
+
+        ``None`` when the label set holds no observations.  See
+        :func:`estimate_quantile` for the interpolation contract.
+        """
+        with self._lock:
+            counts = self._counts.get(_label_key(labels))
+            if counts is None:
+                return None
+            cumulative: list[int] = []
+            running = 0
+            for count in counts:
+                running += count
+                cumulative.append(running)
+        return estimate_quantile(self.buckets, cumulative, q)
+
+
+def estimate_quantile(
+    bounds: "tuple[float, ...] | list[float]",
+    cumulative: "list[int] | tuple[int, ...]",
+    q: float,
+) -> float | None:
+    """Prometheus-style ``histogram_quantile`` over cumulative buckets.
+
+    Linear interpolation inside the target bucket; the first bucket's lower
+    edge is 0 when its upper bound is positive (matching PromQL).  Mass in
+    the ``+Inf`` overflow bucket is reported as the highest finite bound —
+    the histogram cannot resolve anything beyond it.  Returns ``None`` for
+    an empty histogram (or one with no finite bounds at all).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if not cumulative:
+        return None
+    total = cumulative[-1]
+    if total == 0:
+        return None
+    rank = q * total
+    for index, cum in enumerate(cumulative):
+        if cum >= rank and cum > 0:
+            upper = bounds[index]
+            previous = cumulative[index - 1] if index else 0
+            if upper == float("inf"):
+                finite = [b for b in bounds if b != float("inf")]
+                return finite[-1] if finite else None
+            lower = bounds[index - 1] if index else (0.0 if upper > 0 else upper)
+            in_bucket = cum - previous
+            fraction = (rank - previous) / in_bucket if in_bucket else 1.0
+            fraction = min(1.0, max(0.0, fraction))
+            return lower + (upper - lower) * fraction
+    return None  # pragma: no cover - total > 0 guarantees a hit above
 
 
 class MetricsRegistry:

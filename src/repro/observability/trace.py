@@ -284,6 +284,17 @@ class Tracer:
             )
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
+    def critical_path(self, clock: str = "wall", root_name: str | None = None):
+        """Critical-path analysis of the recorded buffer.
+
+        Delegates to :func:`repro.observability.critical_path.analyze`
+        (imported lazily so the tracer itself stays dependency-free on the
+        hot path); analyzes the longest matching root span.
+        """
+        from repro.observability.critical_path import analyze
+
+        return analyze(self.span_tree(), clock=clock, root_name=root_name)
+
     def span_tree(self) -> list[dict[str, Any]]:
         """Nested view of the buffer: roots with recursive ``children``."""
         spans = self.spans()
@@ -299,6 +310,56 @@ class Tracer:
             else:
                 parent["children"].append(node)
         return roots
+
+
+def filter_tree(
+    roots: list[dict[str, Any]],
+    min_ms: float = 0.0,
+    top: int | None = None,
+    clock: str = "wall",
+) -> list[dict[str, Any]]:
+    """Prune a :meth:`Tracer.span_tree` view for human consumption.
+
+    ``min_ms`` drops spans shorter than the threshold — unless a descendant
+    survives, in which case the ancestor is kept as scaffolding so the tree
+    stays connected.  ``top`` caps each span's children to the N slowest;
+    pruned nodes are summarized in a ``children_dropped`` count (with their
+    total duration in ``dropped_ms``) rather than vanishing silently.  The
+    input is not mutated.
+    """
+    if min_ms < 0:
+        raise ValueError("min_ms must be >= 0")
+    if top is not None and top < 1:
+        raise ValueError("top must be >= 1")
+
+    def duration_ms(node: Mapping[str, Any]) -> float:
+        start, end = node.get(f"start_{clock}"), node.get(f"end_{clock}")
+        if start is None or end is None:
+            return 0.0
+        return max(0.0, (end - start) * 1e3)
+
+    def prune(node: dict[str, Any]) -> dict[str, Any] | None:
+        children = [
+            kept
+            for child in node.get("children", ())
+            if (kept := prune(child)) is not None
+        ]
+        own_ms = duration_ms(node)
+        if own_ms < min_ms and not children:
+            return None
+        out = dict(node)
+        if top is not None and len(children) > top:
+            ranked = sorted(children, key=duration_ms, reverse=True)
+            kept_set = {id(c) for c in ranked[:top]}
+            dropped = [c for c in children if id(c) not in kept_set]
+            children = [c for c in children if id(c) in kept_set]
+            out["children_dropped"] = len(dropped)
+            out["dropped_ms"] = round(sum(duration_ms(c) for c in dropped), 3)
+        out["children"] = children
+        out["duration_ms"] = round(own_ms, 3)
+        return out
+
+    return [kept for root in roots if (kept := prune(root)) is not None]
 
 
 def normalized_tree(roots: list[Mapping[str, Any]] | None = None) -> Any:

@@ -195,3 +195,134 @@ class TestQueueCommands:
         assert payload["cancelled_job"]["status"] == "cancelled"
         states = {job["state"] for job in payload["jobs"]}
         assert "cancelled" in states
+
+
+class TestTraceFilters:
+    def run_tree(self, tmp_path, *extra):
+        out = tmp_path / "tree.json"
+        code = main([
+            "trace", "--algorithm", "ttest_onesample", "-y", "p_tau",
+            "--param", "mu=50", "--rows", "80", "--aggregation", "plain",
+            "--format", "tree", "--out", str(out), *extra,
+        ])
+        assert code == 0
+        return json.loads(out.read_text())["trace"]
+
+    @staticmethod
+    def walk(nodes):
+        for node in nodes:
+            yield node
+            yield from TestTraceFilters.walk(node["children"])
+
+    def test_min_ms_prunes_and_annotates_durations(self, tmp_path):
+        unfiltered = self.run_tree(tmp_path)
+        filtered = self.run_tree(tmp_path, "--min-ms", "0.01")
+        assert filtered, "a real run must keep some spans above 0.01ms"
+        assert len(list(self.walk(filtered))) <= len(list(self.walk(unfiltered)))
+        for node in self.walk(filtered):
+            assert node["duration_ms"] >= 0
+
+    def test_absurd_min_ms_prunes_everything(self, tmp_path):
+        assert self.run_tree(tmp_path, "--min-ms", "1e6") == []
+
+    def test_top_caps_children_and_counts_dropped(self, tmp_path):
+        filtered = self.run_tree(tmp_path, "--top", "1")
+        for node in self.walk(filtered):
+            assert len(node["children"]) <= 1
+            if "children_dropped" in node:
+                assert node["children_dropped"] >= 1
+                assert node["dropped_ms"] >= 0
+
+
+class TestProfileCommand:
+    def test_experiment_profile_artifacts(self, tmp_path):
+        out_dir = tmp_path / "prof"
+        code = main([
+            "profile", "--algorithm", "linear_regression",
+            "-y", "lefthippocampus", "-x", "agevalue",
+            "--rows", "1200", "--aggregation", "plain",
+            "--hz", "997", "--out-dir", str(out_dir),
+        ])
+        assert code == 0
+        collapsed = (out_dir / "flamegraph.collapsed").read_text()
+        assert collapsed.strip(), "the flamegraph must not be empty"
+        for line in collapsed.strip().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) > 0
+        speedscope = json.loads((out_dir / "profile.speedscope.json").read_text())
+        assert speedscope["profiles"][0]["type"] == "sampled"
+        path = json.loads((out_dir / "critical_path.json").read_text())
+        assert path["root"] == "experiment"
+        # acceptance: the chain reconciles with the root duration within 1%
+        assert abs(path["reconciliation"] - 1.0) <= 0.01
+        assert path["segments"]
+
+    def test_script_profile(self, tmp_path, capsys):
+        script = tmp_path / "workload.py"
+        script.write_text(
+            "import time\n"
+            "deadline = time.perf_counter() + 0.2\n"
+            "acc = 0\n"
+            "while time.perf_counter() < deadline:\n"
+            "    acc = (acc * 31 + 7) % 1000003\n"
+        )
+        out_dir = tmp_path / "prof"
+        code = main([
+            "profile", str(script), "--hz", "997", "--out-dir", str(out_dir),
+        ])
+        assert code == 0
+        assert (out_dir / "flamegraph.collapsed").read_text().strip()
+
+    def test_profile_without_target_errors(self):
+        with pytest.raises(SystemExit):
+            main(["profile"])
+
+
+class TestHealthCommand:
+    def write_bench(self, directory, name, scale=1.0):
+        from repro.observability.slo import BenchResult
+
+        directory.mkdir(parents=True, exist_ok=True)
+        result = BenchResult.from_samples(
+            name, [0.1 * scale, 0.12 * scale, 0.11 * scale], config={"n": 1}
+        )
+        (directory / f"BENCH_{name}.json").write_text(
+            json.dumps(result.to_dict()) + "\n"
+        )
+
+    def test_update_then_ok(self, tmp_path, capsys):
+        self.write_bench(tmp_path, "demo")
+        assert main([
+            "health", "--results-dir", str(tmp_path), "--update-baselines",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["health", "--results-dir", str(tmp_path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        self.write_bench(tmp_path, "demo")
+        assert main([
+            "health", "--results-dir", str(tmp_path), "--update-baselines",
+        ]) == 0
+        self.write_bench(tmp_path, "demo", scale=2.0)  # 2x latency injection
+        capsys.readouterr()
+        assert main(["health", "--results-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out
+
+    def test_strict_fails_on_missing_run(self, tmp_path, capsys):
+        self.write_bench(tmp_path, "demo")
+        assert main([
+            "health", "--results-dir", str(tmp_path), "--update-baselines",
+        ]) == 0
+        (tmp_path / "BENCH_demo.json").unlink()
+        assert main(["health", "--results-dir", str(tmp_path)]) == 0
+        assert main(["health", "--results-dir", str(tmp_path), "--strict"]) == 1
+
+    def test_json_format(self, tmp_path, capsys):
+        self.write_bench(tmp_path, "demo")
+        assert main([
+            "health", "--results-dir", str(tmp_path), "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["benches"][0]["status"] == "new"

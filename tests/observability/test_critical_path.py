@@ -1,0 +1,226 @@
+"""Critical-path analysis on hand-built span trees.
+
+Each scenario mirrors a real trace shape the queue produces: serial steps,
+parallel fan-out, retries inside a send, and an eviction leaving an
+unfinished span behind.  Times are synthetic so every expected segment is
+exact.
+"""
+
+import json
+
+import pytest
+
+from repro.observability.critical_path import (
+    CriticalPathReport,
+    analyze,
+    analyze_experiment,
+)
+from repro.observability.trace import tracer
+
+
+def span(name, start, end, children=(), span_id=None, **attributes):
+    """A node in the shape Tracer.span_tree() exports."""
+    return {
+        "name": name,
+        "span_id": span_id,
+        "start_wall": start,
+        "end_wall": end,
+        "start_sim": 0.0,
+        "end_sim": 0.0,
+        "attributes": attributes,
+        "children": list(children),
+    }
+
+
+def chain_names(report):
+    return [(s.name, s.kind) for s in report.segments]
+
+
+class TestSerial:
+    def test_children_tiling_the_root_exactly(self):
+        root = span("experiment", 0.0, 10.0, [
+            span("validate", 0.0, 4.0),
+            span("execute", 4.0, 10.0),
+        ])
+        report = analyze(root)
+        assert chain_names(report) == [("validate", "span"), ("execute", "span")]
+        assert report.chain_duration == pytest.approx(10.0)
+        assert report.reconciliation == pytest.approx(1.0)
+
+    def test_gaps_become_parent_self_time(self):
+        root = span("experiment", 0.0, 10.0, [span("step", 2.0, 5.0)])
+        report = analyze(root)
+        assert chain_names(report) == [
+            ("experiment", "self"),
+            ("step", "span"),
+            ("experiment", "self"),
+        ]
+        durations = [s.duration for s in report.segments]
+        assert durations == pytest.approx([2.0, 3.0, 5.0])
+        assert report.reconciliation == pytest.approx(1.0)
+
+    def test_self_vs_wait_attribution(self):
+        root = span("experiment", 0.0, 10.0, [span("step", 2.0, 5.0)])
+        report = analyze(root)
+        by_kind = {k.name: k for k in report.by_kind}
+        assert by_kind["experiment"].self_time == pytest.approx(7.0)
+        assert by_kind["experiment"].wait_time == pytest.approx(3.0)
+        assert by_kind["step"].self_time == pytest.approx(3.0)
+        assert by_kind["step"].wait_time == pytest.approx(0.0)
+
+
+class TestParallel:
+    def fanout(self):
+        return span("experiment", 0.0, 10.0, [
+            span("transport.fanout", 0.0, 9.0, [
+                span("transport.send", 0.0, 3.0, receiver="worker-1"),
+                span("transport.send", 0.0, 9.0, receiver="worker-2"),
+                span("transport.send", 0.0, 5.0, receiver="worker-3"),
+            ]),
+        ])
+
+    def test_only_the_last_finisher_blocks(self):
+        report = analyze(self.fanout())
+        # worker-2's send is the blocker; its parallel siblings never appear.
+        send_segments = [s for s in report.segments if s.name == "transport.send"]
+        assert [s.worker for s in send_segments] == ["worker-2"]
+        assert send_segments[0].duration == pytest.approx(9.0)
+        assert report.reconciliation == pytest.approx(1.0)
+
+    def test_straggler_ranking(self):
+        report = analyze(self.fanout())
+        workers = {w.worker: w for w in report.workers}
+        assert workers["worker-2"].critical == pytest.approx(9.0)
+        assert workers["worker-1"].critical == pytest.approx(0.0)
+        # slowest total (9) over median total (5)
+        assert report.straggler_factor == pytest.approx(9.0 / 5.0)
+        assert report.workers[0].worker == "worker-2"
+
+    def test_headline_names_the_dominant_segment(self):
+        headline = analyze(self.fanout()).headline()
+        assert "transport.send" in headline
+        assert "worker-2" in headline
+        assert "90%" in headline
+
+    def test_fanout_self_time_excludes_overlapping_children(self):
+        report = analyze(self.fanout())
+        by_kind = {k.name: k for k in report.by_kind}
+        # children cover [0, 9] as a union despite overlapping
+        assert by_kind["transport.fanout"].self_time == pytest.approx(0.0)
+        assert by_kind["transport.fanout"].wait_time == pytest.approx(9.0)
+
+
+class TestRetry:
+    def test_retry_attempts_stack_inside_a_send(self):
+        root = span("transport.send", 0.0, 10.0, [
+            span("attempt", 0.0, 4.0, outcome="timeout"),
+            span("attempt", 6.0, 10.0, outcome="ok"),
+        ], receiver="worker-1")
+        report = analyze(root)
+        assert chain_names(report) == [
+            ("attempt", "span"),
+            ("transport.send", "self"),  # backoff gap between attempts
+            ("attempt", "span"),
+        ]
+        durations = [s.duration for s in report.segments]
+        assert durations == pytest.approx([4.0, 2.0, 4.0])
+        assert report.reconciliation == pytest.approx(1.0)
+
+
+class TestEviction:
+    def test_unfinished_span_is_skipped_but_chain_still_tiles(self):
+        root = span("experiment", 0.0, 10.0, [
+            span("transport.send", 0.0, 3.0, receiver="worker-1"),
+            # evicted mid-flight: the span never closed
+            span("transport.send", 0.0, None, receiver="worker-2"),
+        ])
+        report = analyze(root)
+        assert chain_names(report) == [
+            ("transport.send", "span"),
+            ("experiment", "self"),
+        ]
+        assert report.reconciliation == pytest.approx(1.0)
+        workers = {w.worker for w in report.workers}
+        assert workers == {"worker-1"}
+
+
+class TestFacade:
+    def test_picks_the_heaviest_matching_root(self):
+        roots = [
+            span("experiment.queued", 0.0, 50.0),
+            span("experiment", 0.0, 10.0),
+            span("experiment", 20.0, 24.0),
+        ]
+        report = analyze(roots, root_name="experiment")
+        assert report.root_name == "experiment"
+        assert report.root_duration == pytest.approx(10.0)
+
+    def test_empty_buffer_yields_empty_report(self):
+        report = analyze([], root_name="experiment")
+        assert report.segments == []
+        assert report.reconciliation == pytest.approx(1.0)
+        assert "empty critical path" in report.headline()
+
+    def test_rejects_unknown_clock(self):
+        with pytest.raises(ValueError):
+            analyze([], clock="cpu")
+
+    def test_zero_width_sim_clock_emits_marker_segment(self):
+        root = span("experiment", 0.0, 10.0)
+        report = analyze(root, clock="sim")
+        assert report.root_duration == 0.0
+        assert [s.duration for s in report.segments] == [0.0]
+        assert report.reconciliation == pytest.approx(1.0)
+
+    def test_export_round_trip(self):
+        root = span("experiment", 0.0, 10.0, [span("step", 0.0, 10.0)])
+        report = analyze(root)
+        payload = json.loads(report.to_json())
+        assert payload["reconciliation"] == pytest.approx(1.0)
+        assert payload["root"] == "experiment"
+        assert payload["segments"][0]["name"] == "step"
+        rendered = report.render()
+        assert "critical path" in rendered
+        assert "step" in rendered
+
+    def test_report_is_pure_over_input(self):
+        root = span("experiment", 0.0, 10.0, [span("step", 0.0, 5.0)])
+        before = json.dumps(root, sort_keys=True)
+        analyze(root)
+        assert json.dumps(root, sort_keys=True) == before
+
+
+class TestLiveTracer:
+    def test_analyze_experiment_matches_attribute(self):
+        was_enabled = tracer.enabled
+        tracer.reset()
+        tracer.enable()
+        try:
+            with tracer.span("experiment", experiment="exp-1"):
+                with tracer.span("step"):
+                    pass
+            with tracer.span("experiment", experiment="exp-2"):
+                pass
+            report = analyze_experiment("exp-1")
+            assert report is not None
+            assert report.root_name == "experiment"
+            assert analyze_experiment("exp-missing") is None
+        finally:
+            tracer.reset()
+            if not was_enabled:
+                tracer.disable()
+
+    def test_tracer_critical_path_accessor(self):
+        was_enabled = tracer.enabled
+        tracer.reset()
+        tracer.enable()
+        try:
+            with tracer.span("experiment"):
+                pass
+            report = tracer.critical_path()
+            assert isinstance(report, CriticalPathReport)
+            assert report.root_name == "experiment"
+        finally:
+            tracer.reset()
+            if not was_enabled:
+                tracer.disable()

@@ -115,3 +115,76 @@ class TestRenderers:
     def test_unlabeled_single_sample_is_scalar(self, registry):
         registry.counter("plain").inc(4)
         assert registry.snapshot()["plain"] == 4
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_returns_none(self, registry):
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        assert hist.quantile(0.5) is None
+
+    def test_single_observation_interpolates_within_bucket(self, registry):
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        hist.observe(1.5)
+        # One observation in (1, 2]: every quantile lands in that bucket,
+        # linearly interpolated from its lower edge.
+        assert hist.quantile(0.0) == pytest.approx(1.0)
+        assert hist.quantile(0.5) == pytest.approx(1.5)
+        assert hist.quantile(1.0) == pytest.approx(2.0)
+
+    def test_first_bucket_lower_edge_is_zero(self, registry):
+        hist = registry.histogram("h", buckets=(10.0,))
+        hist.observe(3.0)
+        # PromQL convention: first finite bucket spans [0, upper].
+        assert hist.quantile(0.5) == pytest.approx(5.0)
+
+    def test_quantile_at_exact_bucket_edge(self, registry):
+        hist = registry.histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 3.5):
+            hist.observe(value)
+        # rank(0.25) == cumulative count of the first bucket: the estimate
+        # must sit exactly on the bucket boundary, not beyond it.
+        assert hist.quantile(0.25) == pytest.approx(1.0)
+        assert hist.quantile(0.5) == pytest.approx(2.0)
+
+    def test_all_mass_in_overflow_reports_highest_finite_bound(self, registry):
+        hist = registry.histogram("h", buckets=(1.0, 5.0))
+        hist.observe(100.0)
+        hist.observe(200.0)
+        assert hist.quantile(0.5) == pytest.approx(5.0)
+        assert hist.quantile(0.99) == pytest.approx(5.0)
+
+    def test_overflow_only_histogram_without_finite_bounds(self):
+        from repro.observability.metrics import estimate_quantile
+
+        assert estimate_quantile((float("inf"),), [3], 0.5) is None
+
+    def test_labels_partition_observations(self, registry):
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        hist.observe(0.5, op="read")
+        hist.observe(1.5, op="write")
+        assert hist.quantile(0.5, op="read") == pytest.approx(0.5)
+        assert hist.quantile(0.5, op="write") == pytest.approx(1.5)
+        assert hist.quantile(0.5, op="missing") is None
+
+    def test_quantile_out_of_range_rejected(self, registry):
+        hist = registry.histogram("h")
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_nan_observation_keeps_inf_bucket_consistent(self, registry):
+        hist = registry.histogram("h", buckets=(1.0,))
+        hist.observe(0.5)
+        hist.observe(float("nan"))
+        snap = hist.snapshot_one()
+        # Prometheus invariant: the +Inf cumulative bucket equals _count,
+        # even for NaN observations that compare False against every bound.
+        assert snap["buckets"]["+Inf"] == snap["count"] == 2
+        assert snap["buckets"][1.0] == 1
+
+    def test_inf_observation_lands_in_overflow(self, registry):
+        hist = registry.histogram("h", buckets=(1.0,))
+        hist.observe(float("inf"))
+        snap = hist.snapshot_one()
+        assert snap["buckets"]["+Inf"] == snap["count"] == 1
+        assert snap["buckets"][1.0] == 0

@@ -1,0 +1,186 @@
+"""The sampling profiler: collection, attribution, exports, guard rails."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.observability import profiler as profiler_mod
+from repro.observability.profiler import (
+    DEFAULT_HZ,
+    SamplingProfiler,
+    merge_collapsed,
+)
+from repro.simtest import hooks as sim_hooks
+
+
+def busy_wait(seconds: float) -> int:
+    """CPU-bound marker function: shows up by name in sampled stacks."""
+    deadline = time.perf_counter() + seconds
+    acc = 0
+    while time.perf_counter() < deadline:
+        acc = (acc * 31 + 7) % 1_000_003
+    return acc
+
+
+class TestSampling:
+    def test_collects_samples_from_a_busy_thread(self):
+        profiler = SamplingProfiler(hz=250)
+        with profiler:
+            busy_wait(0.3)
+        assert profiler.sample_count > 10
+        collapsed = profiler.collapsed()
+        assert collapsed, "a busy 300ms window must produce stacks"
+        assert "busy_wait" in collapsed
+        # collapsed-stack grammar: "frame;frame;frame <count>"
+        for line in collapsed.strip().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack
+            assert int(count) > 0
+
+    def test_stacks_are_root_to_leaf(self):
+        profiler = SamplingProfiler(hz=250)
+        with profiler:
+            busy_wait(0.3)
+        stacks = [s for s in profiler.stack_counts() if any("busy_wait" in f for f in s)]
+        assert stacks
+        for stack in stacks:
+            leaf_index = max(i for i, f in enumerate(stack) if "busy_wait" in f)
+            # the marker frame sits at/near the leaf end, not at the root
+            assert leaf_index > 0
+
+    def test_start_is_idempotent_and_stop_joins(self):
+        profiler = SamplingProfiler(hz=100)
+        assert profiler.start()
+        assert profiler.start()  # second start: already running, still True
+        profiler.stop()
+        profiler.stop()  # idempotent
+        assert not profiler.running
+
+    def test_rejects_nonpositive_hz(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+
+
+class TestJobAttribution:
+    def test_bound_thread_samples_carry_the_job_id(self):
+        profiler = SamplingProfiler(hz=250)
+
+        def work():
+            token = profiler_mod.bind_current_thread("job-A")
+            try:
+                busy_wait(0.3)
+            finally:
+                profiler_mod.unbind_thread(token)
+
+        with profiler:
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+        assert "job-A" in profiler.jobs()
+        job_collapsed = profiler.collapsed(job="job-A")
+        assert "busy_wait" in job_collapsed
+        # the unbound main thread's samples do not leak into the job view
+        assert profiler.stack_counts(job="job-A") != profiler.stack_counts()
+
+    def test_nested_bind_keeps_the_outer_owner(self):
+        token = profiler_mod.bind_current_thread("outer")
+        try:
+            assert profiler_mod.bind_current_thread("inner") is None
+            assert profiler_mod.thread_job(threading.get_ident()) == "outer"
+        finally:
+            profiler_mod.unbind_thread(token)
+        assert profiler_mod.thread_job(threading.get_ident()) is None
+
+    def test_unbind_none_token_is_noop(self):
+        profiler_mod.unbind_thread(None)
+
+
+class TestSimtestVeto:
+    def test_profiler_refuses_to_start_under_simulation(self, monkeypatch):
+        monkeypatch.setattr(sim_hooks, "_active", object())
+        profiler = SamplingProfiler(hz=100)
+        assert profiler.start() is False
+        assert not profiler.running
+        # stop on a never-started profiler stays safe
+        profiler.stop()
+
+    def test_service_attach_profiler_reports_the_veto(self, monkeypatch):
+        from repro.api.service import MIPService
+        from repro.data.cohorts import CohortSpec, generate_cohort
+        from repro.federation.controller import create_federation
+
+        federation = create_federation(
+            {"w0": {"dementia": generate_cohort(CohortSpec("edsd", 30, seed=1))}}
+        )
+        service = MIPService(federation, aggregation="plain")
+        monkeypatch.setattr(sim_hooks, "_active", object())
+        profiler = SamplingProfiler(hz=100)
+        assert service.attach_profiler(profiler) is False
+        assert service.engine.queue.profiler is None
+
+
+class TestExports:
+    def test_speedscope_schema(self):
+        profiler = SamplingProfiler(hz=250)
+        with profiler:
+            busy_wait(0.25)
+        payload = profiler.speedscope(name="unit")
+        json.dumps(payload)  # serializable
+        assert payload["$schema"].endswith("file-format-schema.json")
+        profile = payload["profiles"][0]
+        assert profile["type"] == "sampled"
+        assert len(profile["samples"]) == len(profile["weights"])
+        n_frames = len(payload["shared"]["frames"])
+        assert n_frames > 0
+        for sample in profile["samples"]:
+            assert all(0 <= index < n_frames for index in sample)
+        assert profile["endValue"] == pytest.approx(sum(profile["weights"]), rel=1e-6)
+
+    def test_merge_collapsed_sums_identical_stacks(self):
+        merged = merge_collapsed(["a;b 2\na;c 1\n", "a;b 3\n", "", "garbage-line\n"])
+        assert merged == "a;b 5\na;c 1\n"
+
+    def test_summary_counts(self):
+        profiler = SamplingProfiler(hz=250)
+        with profiler:
+            busy_wait(0.2)
+        summary = profiler.summary()
+        assert summary["hz"] == 250
+        assert summary["ticks"] == profiler.sample_count
+        assert summary["unique_stacks"] > 0
+        assert summary["elapsed_seconds"] > 0
+
+
+class TestOverhead:
+    def test_overhead_under_budget_at_default_hz(self):
+        """The sampler must cost <5% wall time on a CPU-bound workload."""
+        budget = 0.05
+        rounds = 3
+
+        def fixed_work() -> int:
+            acc = 0
+            for i in range(400_000):
+                acc = (acc * 31 + i) % 1_000_003
+            return acc
+
+        def best_of(profiled: bool) -> float:
+            best = float("inf")
+            for _ in range(rounds):
+                profiler = SamplingProfiler(hz=DEFAULT_HZ)
+                if profiled:
+                    profiler.start()
+                t0 = time.perf_counter()
+                fixed_work()
+                elapsed = time.perf_counter() - t0
+                profiler.stop()
+                best = min(best, elapsed)
+            return best
+
+        plain = best_of(False)
+        profiled = best_of(True)
+        overhead = profiled / plain - 1.0
+        assert overhead < budget, (
+            f"profiler overhead {overhead:.1%} exceeds the {budget:.0%} budget"
+        )
