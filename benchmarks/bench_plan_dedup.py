@@ -1,0 +1,173 @@
+"""Flow-plan step dedup: identical concurrent experiments share local steps.
+
+Eight identical experiments submitted together on an 8-wide pool, with and
+without the cross-experiment :class:`~repro.core.plan_executor.StepCache`.
+Without the cache every experiment recomputes every local step on every
+worker; with it the first submission computes while the other seven wait on
+the in-flight entry, so aggregate wall time collapses toward one
+experiment's critical path plus the per-experiment aggregation tails.
+
+Acceptance: >= 2x aggregate speedup for the deduped batch, and zero cache
+hits across experiments on *different* cohorts (the fingerprint includes
+the dataset assignment and catalog epoch, so unrelated work never shares).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.core.experiment import ExperimentEngine, ExperimentRequest
+from repro.data.cohorts import CohortSpec, generate_cohort
+from repro.federation.controller import FederationConfig, create_federation
+
+from benchmarks.conftest import RESULTS_DIR, write_metrics_snapshot, write_report
+
+import repro.algorithms  # noqa: F401
+
+BATCH = 8
+ROWS = 2400
+
+REQUEST = ExperimentRequest(
+    algorithm="logistic_regression",
+    data_model="dementia",
+    datasets=("edsd", "adni", "ppmi"),
+    y=("converted_ad",),
+    x=("p_tau", "lefthippocampus", "agevalue"),
+)
+
+
+def build_federation():
+    worker_data = {
+        "hospital_a": {"dementia": generate_cohort(CohortSpec("edsd", ROWS, seed=1))},
+        "hospital_b": {"dementia": generate_cohort(CohortSpec("adni", ROWS, seed=2))},
+        "hospital_c": {"dementia": generate_cohort(CohortSpec("ppmi", ROWS, seed=3))},
+    }
+    return create_federation(
+        worker_data, FederationConfig(smpc_nodes=0, seed=7)
+    )
+
+
+def run_batch(federation, cache, tag: str, requests=None):
+    """Submit BATCH experiments at once; returns (wall_s, results)."""
+    engine = ExperimentEngine(
+        federation, aggregation="plain", max_concurrent=BATCH, plan_cache=cache
+    )
+    requests = requests or [REQUEST] * BATCH
+    started = time.perf_counter()
+    try:
+        ids = [
+            engine.submit(request, experiment_id=f"{tag}{index}")
+            for index, request in enumerate(requests)
+        ]
+        results = [engine.wait(job_id, timeout=600) for job_id in ids]
+        wall = time.perf_counter() - started
+    finally:
+        engine.shutdown()
+    for result in results:
+        assert result.status.value == "success", result.error
+    return wall, results
+
+
+def test_report_plan_dedup():
+    # Cache off: the baseline — every experiment recomputes every step.
+    baseline_federation = build_federation()
+    baseline_wall, baseline_results = run_batch(baseline_federation, None, "base")
+    assert all(result.dedup_hits == 0 for result in baseline_results)
+    baseline_federation.shutdown()
+
+    # Cache on: one computation per distinct step fingerprint.
+    federation = build_federation()
+    cache = federation.plan_cache
+    deduped_wall, deduped_results = run_batch(federation, cache, "dedup")
+    follower_hits = [result.dedup_hits for result in deduped_results]
+    assert sum(follower_hits) > 0, "identical concurrent experiments never deduped"
+    # Byte-identical payloads: a cache hit returns the very same tables.
+    payloads = {json.dumps(r.result, sort_keys=True) for r in deduped_results}
+    assert len(payloads) == 1
+
+    speedup = baseline_wall / deduped_wall if deduped_wall else float("inf")
+
+    # Different cohorts must never share: the step fingerprint pins the
+    # dataset assignment, so a different-cohort experiment scores zero hits
+    # against the warm cache.
+    other = ExperimentRequest(
+        algorithm=REQUEST.algorithm,
+        data_model=REQUEST.data_model,
+        datasets=("edsd", "adni"),
+        y=REQUEST.y,
+        x=REQUEST.x,
+    )
+    engine = ExperimentEngine(
+        federation, aggregation="plain", max_concurrent=1, plan_cache=cache
+    )
+    try:
+        other_result = engine.wait(engine.submit(other, experiment_id="othercohort"))
+        assert other_result.status.value == "success", other_result.error
+        cross_cohort_hits = other_result.dedup_hits
+        assert cross_cohort_hits == 0, "different cohorts shared cache entries"
+
+        # A catalog-epoch bump (worker topology change) invalidates even
+        # byte-identical requests: replaying the warm request scores zero.
+        federation.master._catalog_epoch += 1
+        epoch_result = engine.wait(engine.submit(REQUEST, experiment_id="epochbump"))
+        assert epoch_result.status.value == "success", epoch_result.error
+        assert epoch_result.dedup_hits == 0, "stale-epoch entries were served"
+    finally:
+        engine.shutdown()
+
+    lines = [
+        "plan-dedup bench: 8 identical concurrent experiments (pool 8)",
+        f"  algorithm={REQUEST.algorithm} rows/worker={ROWS}",
+        f"  cache off: {baseline_wall:.3f}s aggregate wall",
+        f"  cache on:  {deduped_wall:.3f}s aggregate wall",
+        f"  speedup:   {speedup:.2f}x  (gate: >= 2.0x)",
+        f"  dedup hits per follower: {sorted(follower_hits, reverse=True)}",
+        f"  cache stats: {cache.stats()}",
+        "",
+        "in-flight dedup: identical concurrent experiments wait on whichever",
+        "submission owns each step instead of recomputing it; different",
+        "cohorts and stale catalog epochs never share entries (0 hits).",
+    ]
+    write_report("plan_dedup", lines)
+
+    payload = {
+        "benchmark": "plan_dedup",
+        "batch": BATCH,
+        "rows_per_worker": ROWS,
+        "algorithm": REQUEST.algorithm,
+        "baseline_wall_s": round(baseline_wall, 4),
+        "deduped_wall_s": round(deduped_wall, 4),
+        "speedup": round(speedup, 3),
+        "dedup_hits": sorted(follower_hits, reverse=True),
+        "cross_cohort_hits": cross_cohort_hits,
+        "cache": cache.stats(),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    # Stable-schema result for the SLO gate (``repro health``): the deduped
+    # batch's per-experiment wall times plus the speedup in config.
+    from repro.observability.slo import BenchResult
+
+    stable = BenchResult.from_samples(
+        "plan_dedup",
+        [result.elapsed_seconds for result in deduped_results],
+        config={
+            "batch": BATCH,
+            "pool": BATCH,
+            "rows_per_worker": ROWS,
+            "algorithm": REQUEST.algorithm,
+            "speedup": round(speedup, 3),
+        },
+        wall_s=deduped_wall,
+    )
+    (RESULTS_DIR / "BENCH_plan_dedup.json").write_text(
+        json.dumps(stable.to_dict(), indent=2) + "\n"
+    )
+    payload_path = RESULTS_DIR / "BENCH_plan_dedup_report.json"
+    payload_path.write_text(json.dumps(payload, indent=2) + "\n")
+    write_metrics_snapshot("plan_dedup", federation)
+    federation.shutdown()
+
+    # Acceptance: dedup at least halves the aggregate batch wall time.
+    assert speedup >= 2.0, f"plan dedup speedup {speedup:.2f}x < 2.0x"

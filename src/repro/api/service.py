@@ -32,6 +32,8 @@ class MIPService:
         noise: NoiseSpec | None = None,
         pool_size: int = 1,
         max_queued: int = 128,
+        flow_mode: str | None = None,
+        plan_cache=None,
     ) -> None:
         self.federation = federation
         self.engine = ExperimentEngine(
@@ -40,6 +42,8 @@ class MIPService:
             noise=noise,
             max_concurrent=pool_size,
             max_queued=max_queued,
+            flow_mode=flow_mode,
+            plan_cache=plan_cache,
         )
 
     # --------------------------------------------------------- data catalogue

@@ -22,6 +22,7 @@ Examples::
     python -m repro cancel --algorithm descriptive_stats -y lefthippocampus --repeat 4
     python -m repro profile --algorithm linear_regression \\
         -y lefthippocampus -x agevalue --out-dir profile-out
+    python -m repro plan linear_regression --format tree
     python -m repro health --results-dir benchmarks/results --strict
 """
 
@@ -116,6 +117,38 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--clock", choices=("wall", "sim"), default="wall",
                          help="critical-path clock: real time (default) or "
                               "the transport's modeled network seconds")
+
+    plan = subcommands.add_parser(
+        "plan",
+        help="record an algorithm's flow plan (the DAG the executor runs) "
+             "and render it",
+    )
+    plan.add_argument("algorithm", metavar="ALGORITHM",
+                      help="registered algorithm name (see `repro algorithms`)")
+    plan.add_argument("--format", choices=("tree", "json", "dot"),
+                      default="tree",
+                      help="ASCII dependency tree (default), the canonical "
+                           "DAG JSON, or Graphviz DOT")
+    plan.add_argument("--out", default=None, metavar="PATH",
+                      help="write the rendering to a file instead of stdout")
+    plan.add_argument("--data-model", default="dementia")
+    plan.add_argument("--datasets", nargs="*", default=None,
+                      help="dataset codes (default: all available)")
+    plan.add_argument("-y", action="append", default=[], metavar="VAR",
+                      help="dependent variable (default: the algorithm's "
+                           "demo request)")
+    plan.add_argument("-x", action="append", default=[], metavar="VAR",
+                      help="covariate (repeatable)")
+    plan.add_argument("--param", action="append", default=[],
+                      metavar="NAME=VALUE",
+                      help="algorithm parameter (repeatable)")
+    plan.add_argument("--filter", default=None,
+                      help="SQL row filter, e.g. \"agevalue > 65\"")
+    plan.add_argument("--aggregation", choices=("smpc", "plain"),
+                      default="smpc")
+    plan.add_argument("--rows", type=int, default=60,
+                      help="rows per synthetic cohort (default 60)")
+    plan.add_argument("--seed", type=int, default=0)
 
     health = subcommands.add_parser(
         "health",
@@ -365,10 +398,14 @@ def _submit_kwargs(args: argparse.Namespace, service: MIPService) -> dict[str, A
 
 
 def _job_table(service: MIPService) -> list[dict[str, Any]]:
-    return [
-        {k: v for k, v in snapshot.items() if v is not None}
-        for snapshot in service.jobs()
-    ]
+    rows = []
+    for snapshot in service.jobs():
+        row = {k: v for k, v in snapshot.items() if v is not None}
+        for key in ("wait_seconds", "elapsed_seconds", "queued_seconds"):
+            if key in row:
+                row[key] = round(row[key], 4)
+        rows.append(row)
+    return rows
 
 
 def command_submit(args: argparse.Namespace) -> int:
@@ -500,6 +537,68 @@ def command_profile(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def command_plan(args: argparse.Namespace) -> int:
+    """`repro plan`: record and render an algorithm's flow-plan DAG.
+
+    Runs the algorithm once against synthetic cohorts with the eager
+    executor (no cache, no pipelining), then renders the plan the run
+    recorded: every local/global step, aggregation, broadcast and barrier
+    with its data dependencies.
+    """
+    from repro.api.demo import DEMO_REQUESTS
+    from repro.core.experiment import ExperimentRequest
+    from repro.core.runner import ExperimentRunner
+
+    service = build_service(args)
+    datasets = args.datasets
+    if not datasets:
+        datasets = sorted(service.datasets(args.data_model))
+    if args.y or args.x or args.param:
+        y, x = tuple(args.y), tuple(args.x)
+        parameters = dict(parse_parameter(p) for p in args.param)
+    elif args.algorithm in DEMO_REQUESTS:
+        demo = DEMO_REQUESTS[args.algorithm]
+        y, x = tuple(demo["y"]), tuple(demo["x"])
+        parameters = dict(demo["parameters"])
+    else:
+        raise SystemExit(
+            f"no demo request for algorithm {args.algorithm!r}; "
+            "pass -y/-x/--param explicitly"
+        )
+    request = ExperimentRequest(
+        algorithm=args.algorithm,
+        data_model=args.data_model,
+        datasets=tuple(datasets),
+        y=y,
+        x=x,
+        parameters=parameters,
+        filter_sql=args.filter,
+    )
+    runner = ExperimentRunner(
+        service.federation,
+        aggregation=args.aggregation,
+        flow_mode="eager",
+        plan_cache=None,
+    )
+    info: dict[str, Any] = {}
+    runner.execute(request, "plan", info=info)
+    plan = info["plan"]
+    if args.format == "tree":
+        text = plan.render_tree()
+    elif args.format == "json":
+        text = json.dumps(plan.to_json(), indent=2)
+    else:
+        text = plan.to_dot()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {args.format} plan ({len(plan)} nodes) to {args.out}",
+              file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
 def command_health(args: argparse.Namespace) -> int:
     """`repro health`: bench snapshots vs. SLO baselines; exit 1 on regression.
 
@@ -596,6 +695,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "jobs": command_jobs,
         "cancel": command_cancel,
         "profile": command_profile,
+        "plan": command_plan,
         "health": command_health,
         "fuzz": command_fuzz,
     }

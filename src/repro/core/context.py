@@ -4,25 +4,52 @@ One :class:`ExecutionContext` exists per experiment.  It knows which workers
 participate (dataset-aware shipping), how to build each worker's data view,
 which aggregation path moves transfers (plain remote/merge or SMPC), and it
 tracks every created table for cleanup.
+
+Since the flow-plan refactor the context is a thin *recording facade*: each
+``local_run`` / ``global_run`` / ``get_transfer_data`` call validates its
+arguments, appends typed nodes to a :class:`~repro.core.plan.FlowPlan`, and
+hands them to the :class:`~repro.core.plan_executor.PlanExecutor`.  The
+returned handles are lazy — algorithms keep passing them between steps
+unchanged, and bytes only move when a handle (or a transfer read) forces a
+true data dependency.  In ``"eager"`` mode (the default, and the forced mode
+under an active simulation) every node executes inline at record time, which
+reproduces the historical imperative behavior exactly; ``"pipeline"`` mode
+dispatches nodes the moment their dependencies allow, so independent local
+steps overlap on the shared fan-out pool.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import (
     AlgorithmError,
     ExperimentCancelledError,
-    FederationError,
     QuorumError,
 )
-from repro.core.state import GlobalHandle, LocalHandle
+from repro.core.plan import (
+    BarrierNode,
+    BroadcastNode,
+    FlowPlan,
+    GlobalStepNode,
+    LocalStepNode,
+    PlainAggregateNode,
+    PlanArg,
+    SecureAggregateNode,
+    ValueRef,
+)
+from repro.core.plan_executor import PlanExecutor, StepCache
+from repro.core.state import (
+    GlobalHandle,
+    LazyGlobalHandle,
+    LazyLocalHandle,
+    LocalHandle,
+)
 from repro.federation.master import Master
 from repro.federation.messages import new_job_id
-from repro.observability.trace import tracer
 from repro.simtest import hooks as sim_hooks
 from repro.smpc.cluster import NoiseSpec
 from repro.udfgen.decorators import get_spec
@@ -30,8 +57,6 @@ from repro.udfgen.iotypes import (
     LiteralType,
     MergeTransferType,
     RelationType,
-    StateType,
-    TensorType,
     TransferType,
 )
 
@@ -66,6 +91,8 @@ class ExecutionContext:
         filter_sql: str | None = None,
         job_prefix: str | None = None,
         cancel_event: threading.Event | None = None,
+        flow_mode: str | None = None,
+        plan_cache: StepCache | None = None,
     ) -> None:
         if aggregation not in ("smpc", "plain"):
             raise AlgorithmError(f"unknown aggregation path {aggregation!r}")
@@ -85,9 +112,18 @@ class ExecutionContext:
         self.cancel_event = cancel_event
         self._step_counter = itertools.count(1)
         self._broadcasts: dict[tuple[str, str], str] = {}  # (table, worker) -> remote name
+        self._broadcast_lock = threading.Lock()
         #: Workers evicted from this flow mid-experiment (degrading failure
         #: policy), mapped to the step at which they were lost.
         self.evicted: dict[str, str] = {}
+        #: The recorded flow (inspectable via ``repro plan``).
+        self.plan = FlowPlan(self.job_id)
+        self.flow_mode = flow_mode or "eager"
+        self.executor = PlanExecutor(self, mode=self.flow_mode, cache=plan_cache)
+        # One broadcast node per distinct global-transfer source: repeat
+        # uses share the placement work instead of re-shipping.
+        self._bcast_nodes: dict[Any, int] = {}
+        self._last_node: int | None = None
 
     # ----------------------------------------------------------- cancellation
 
@@ -103,6 +139,7 @@ class ExecutionContext:
             raise ExperimentCancelledError(
                 f"experiment {self.job_id} was cancelled mid-flow"
             )
+        self.executor.raise_pending()
 
     # ------------------------------------------------------------- data views
 
@@ -122,6 +159,53 @@ class ExecutionContext:
         where = " AND ".join(conditions)
         return f"SELECT {columns} FROM {table} WHERE {where}"
 
+    # ------------------------------------------------------------ plan record
+
+    def _record(self, node) -> None:
+        """Append one node and hand it to the executor.
+
+        Under a degrading failure policy every node carries an implicit
+        dependency on its predecessor (evictions mutate the worker set, so
+        the flow must observe them in program order); that chaining is
+        encoded in ``deps`` by :meth:`_chain` before construction.
+        """
+        self.plan.add(node)
+        self._last_node = node.node_id
+        self.executor.submit(node)
+
+    def _chain(self, deps: list[int]) -> tuple[int, ...]:
+        """Finalize a node's dependency edges (dedup + degrade-order chain)."""
+        if self.master.policy.degrade and self._last_node is not None:
+            deps = deps + [self._last_node]
+        seen: set[int] = set()
+        ordered: list[int] = []
+        for dep in deps:
+            if dep not in seen:
+                seen.add(dep)
+                ordered.append(dep)
+        return tuple(ordered)
+
+    def _broadcast_node(self, source: PlanArg, step_id: str) -> int:
+        """Get-or-create the broadcast node for one global-transfer source."""
+        if source.ref is not None:
+            key = ("ref", source.ref.node_id, source.ref.index)
+            deps = [source.ref.node_id]
+        else:
+            key = ("table", str(source.value))
+            deps = []
+        existing = self._bcast_nodes.get(key)
+        if existing is not None:
+            return existing
+        node = BroadcastNode(
+            node_id=self.plan.next_id(),
+            deps=self._chain(deps),
+            source=source,
+            step_id=step_id,
+        )
+        self._bcast_nodes[key] = node.node_id
+        self._record(node)
+        return node.node_id
+
     # -------------------------------------------------------------- local run
 
     def local_run(
@@ -129,8 +213,8 @@ class ExecutionContext:
         func: Callable[..., Any],
         keyword_args: Mapping[str, Any],
         share_to_global: Sequence[bool],
-    ) -> LocalHandle | tuple[LocalHandle, ...]:
-        """Run one local computation step on every participating worker."""
+    ) -> LazyLocalHandle | tuple[LazyLocalHandle, ...]:
+        """Record one local computation step over every participating worker."""
         self.check_cancelled()
         spec = get_spec(func)
         if len(share_to_global) != len(spec.outputs):
@@ -138,94 +222,72 @@ class ExecutionContext:
                 f"share_to_global has {len(share_to_global)} flags for "
                 f"{len(spec.outputs)} outputs of {spec.name!r}"
             )
-        step_id = f"{self.job_id}_s{next(self._step_counter)}"
-        with tracer.span(
-            "flow.local_step", step=step_id, udf=spec.name, workers=len(self.workers)
-        ) as step_span:
-            self._prebroadcast(keyword_args.values(), step_id)
-            per_worker: dict[str, dict[str, Any]] = {}
-            for worker in self.workers:
-                arguments: dict[str, Any] = {}
-                for pname, value in keyword_args.items():
-                    arguments[pname] = self._bind_local_argument(
-                        spec, pname, value, worker, step_id
-                    )
-                per_worker[worker] = arguments
-            results = self.master.run_local_step(step_id, spec.name, per_worker)
-            lost = [worker for worker in self.workers if worker not in results]
-            if lost:
-                # The master's failure policy already enforced the quorum; here
-                # the flow itself degrades: evicted workers leave every later
-                # step and aggregation of this experiment.
-                step_span.set_attribute("evicted", sorted(lost))
-                self._evict(lost, step_id)
-        handles: list[LocalHandle] = []
-        for index, iotype in enumerate(spec.outputs):
-            tables = {worker: results[worker][index]["table"] for worker in self.workers}
-            kind = results[self.workers[0]][index]["kind"]
-            shared = bool(share_to_global[index])
-            if shared and kind not in ("transfer", "secure_transfer"):
+        out_kinds = tuple(iotype.kind for iotype in spec.outputs)
+        for index, kind in enumerate(out_kinds):
+            if share_to_global[index] and kind not in ("transfer", "secure_transfer"):
                 raise AlgorithmError(
                     f"output {index} of {spec.name!r} is {kind!r}; only transfers "
                     "can be shared to the global node"
                 )
-            handles.append(LocalHandle(kind, tables, shared))
+        step_id = f"{self.job_id}_s{next(self._step_counter)}"
+        args: list[tuple[str, PlanArg]] = []
+        deps: list[int] = []
+        for pname, value in keyword_args.items():
+            arg = self._record_local_argument(spec, pname, value, step_id)
+            if arg.ref is not None:
+                deps.append(arg.ref.node_id)
+            args.append((pname, arg))
+        node = LocalStepNode(
+            node_id=self.plan.next_id(),
+            deps=self._chain(deps),
+            step_id=step_id,
+            udf=spec.name,
+            args=tuple(args),
+            share=tuple(bool(flag) for flag in share_to_global),
+            out_kinds=out_kinds,
+        )
+        self._record(node)
+        handles = [
+            LazyLocalHandle(
+                self.executor,
+                ValueRef(node.node_id, index),
+                kind,
+                bool(share_to_global[index]),
+            )
+            for index, kind in enumerate(out_kinds)
+        ]
         return handles[0] if len(handles) == 1 else tuple(handles)
 
-    def _bind_local_argument(
-        self, spec, pname: str, value: Any, worker: str, step_id: str
-    ) -> dict[str, Any]:
+    def _record_local_argument(
+        self, spec, pname: str, value: Any, step_id: str
+    ) -> PlanArg:
         iotype = spec.input_type(pname)
         if isinstance(value, DataView):
             if not isinstance(iotype, RelationType):
                 raise AlgorithmError(f"parameter {pname!r}: data views bind to relations only")
-            return {
-                "kind": "view",
-                "query": self.view_query(value, worker),
-                "variables": list(value.variables),
-                "datasets": list(self.worker_datasets[worker]),
-            }
+            return PlanArg("view", view=value)
+        if isinstance(value, LazyLocalHandle):
+            return PlanArg("ref", ref=value.ref)
         if isinstance(value, LocalHandle):
-            if worker not in value.tables:
-                raise AlgorithmError(
-                    f"parameter {pname!r}: no local table for worker {worker!r}"
-                )
-            return {"kind": "table", "name": value.tables[worker]}
-        if isinstance(value, GlobalHandle):
+            return PlanArg("local_tables", value=dict(value.tables))
+        if isinstance(value, (LazyGlobalHandle, GlobalHandle)):
             if value.kind != "transfer":
                 raise AlgorithmError(
                     f"parameter {pname!r}: only global transfers can be broadcast, "
                     f"got {value.kind!r}"
                 )
-            table = self._broadcast(value, worker, step_id)
-            return {"kind": "table", "name": table}
+            if isinstance(value, LazyGlobalHandle):
+                source = PlanArg("ref", ref=value.ref)
+            else:
+                source = PlanArg("global_table", value=value.table)
+            bcast = self._broadcast_node(source, step_id)
+            return PlanArg("ref", ref=ValueRef(bcast, 0))
         if isinstance(iotype, LiteralType):
-            return {"kind": "literal", "value": value}
+            return PlanArg("literal", value=value)
         raise AlgorithmError(
             f"parameter {pname!r}: cannot bind a {type(value).__name__} to "
             f"{type(iotype).__name__}"
         )
-
-    def _prebroadcast(self, values: Any, step_id: str) -> None:
-        """Ship global transfers to every missing worker in one fan-out.
-
-        Binding then finds each (table, worker) placement already cached, so
-        a broadcast costs one concurrent dispatch instead of a per-worker
-        round-trip chain.  Workers that cannot be reached under a degrading
-        failure policy are evicted from the flow before argument binding.
-        """
-        for value in values:
-            if not (isinstance(value, GlobalHandle) and value.kind == "transfer"):
-                continue
-            missing = [w for w in self.workers if (value.table, w) not in self._broadcasts]
-            if not missing:
-                continue
-            placed = self.master.broadcast_transfer(self.job_id, value.table, missing)
-            for worker, remote_table in placed.items():
-                self._broadcasts[(value.table, worker)] = remote_table
-            lost = [worker for worker in missing if worker not in placed]
-            if lost:
-                self._evict(lost, step_id)
 
     def _evict(self, lost: Sequence[str], step_id: str) -> None:
         """Drop workers from the remainder of this flow (degrade path)."""
@@ -246,13 +308,6 @@ class ExecutionContext:
             survivors=len(survivors),
         )
 
-    def _broadcast(self, handle: GlobalHandle, worker: str, step_id: str) -> str:
-        key = (handle.table, worker)
-        if key not in self._broadcasts:
-            placed = self.master.broadcast_transfer(self.job_id, handle.table, [worker])
-            self._broadcasts[key] = placed[worker]
-        return self._broadcasts[key]
-
     # ------------------------------------------------------------- global run
 
     def global_run(
@@ -260,8 +315,8 @@ class ExecutionContext:
         func: Callable[..., Any],
         keyword_args: Mapping[str, Any],
         share_to_locals: Sequence[bool],
-    ) -> GlobalHandle | tuple[GlobalHandle, ...]:
-        """Run one global step on the master, aggregating local transfers."""
+    ) -> LazyGlobalHandle | tuple[LazyGlobalHandle, ...]:
+        """Record one global step on the master, aggregating local transfers."""
         self.check_cancelled()
         spec = get_spec(func)
         if len(share_to_locals) != len(spec.outputs):
@@ -270,88 +325,174 @@ class ExecutionContext:
                 f"{len(spec.outputs)} outputs of {spec.name!r}"
             )
         step_id = f"{self.job_id}_s{next(self._step_counter)}"
-        with tracer.span("flow.global_step", step=step_id, udf=spec.name):
-            arguments: dict[str, Any] = {}
-            for pname, value in keyword_args.items():
-                arguments[pname] = self._bind_global_argument(spec, pname, value, step_id)
-            results = self.master.run_global_step(step_id, spec.name, arguments)
+        args: list[tuple[str, PlanArg]] = []
+        deps: list[int] = []
+        # Aggregates of one global step draw per-step table counters on the
+        # master; chaining them in parameter order keeps the drawn names
+        # deterministic under concurrent dispatch.
+        last_aggregate: int | None = None
+        for pname, value in keyword_args.items():
+            arg, aggregate = self._record_global_argument(
+                spec, pname, value, step_id, last_aggregate
+            )
+            if aggregate is not None:
+                last_aggregate = aggregate
+            if arg.ref is not None:
+                deps.append(arg.ref.node_id)
+            args.append((pname, arg))
+        node = GlobalStepNode(
+            node_id=self.plan.next_id(),
+            deps=self._chain(deps),
+            step_id=step_id,
+            udf=spec.name,
+            args=tuple(args),
+            share=tuple(bool(flag) for flag in share_to_locals),
+            out_kinds=tuple(iotype.kind for iotype in spec.outputs),
+        )
+        self._record(node)
         handles = [
-            GlobalHandle(result["kind"], result["table"], bool(flag))
-            for result, flag in zip(results, share_to_locals)
+            LazyGlobalHandle(
+                self.executor, ValueRef(node.node_id, index), iotype.kind, bool(flag)
+            )
+            for index, (iotype, flag) in enumerate(zip(spec.outputs, share_to_locals))
         ]
         return handles[0] if len(handles) == 1 else tuple(handles)
 
-    def _bind_global_argument(self, spec, pname: str, value: Any, step_id: str) -> Any:
+    def _record_global_argument(
+        self, spec, pname: str, value: Any, step_id: str, last_aggregate: int | None
+    ) -> tuple[PlanArg, int | None]:
         iotype = spec.input_type(pname)
-        if isinstance(value, LocalHandle):
+        if isinstance(value, (LazyLocalHandle, LocalHandle)):
             if not value.shared_to_global:
                 raise AlgorithmError(
                     f"parameter {pname!r}: local output was not shared to global"
                 )
-            return self._aggregate_local(value, iotype, step_id, pname)
+            node_id = self._record_aggregate(
+                value, iotype, step_id, pname, last_aggregate
+            )
+            return PlanArg("ref", ref=ValueRef(node_id, 0)), node_id
+        if isinstance(value, LazyGlobalHandle):
+            return PlanArg("ref", ref=value.ref), None
         if isinstance(value, GlobalHandle):
-            return value.table
+            return PlanArg("global_table", value=value.table), None
         if isinstance(iotype, LiteralType):
-            return value
+            return PlanArg("literal", value=value), None
         raise AlgorithmError(
             f"parameter {pname!r}: cannot bind a {type(value).__name__} to "
             f"{type(iotype).__name__}"
         )
 
-    def _aggregate_local(self, handle: LocalHandle, iotype, step_id: str, pname: str):
+    def _record_aggregate(
+        self,
+        handle: LazyLocalHandle | LocalHandle,
+        iotype,
+        step_id: str,
+        pname: str,
+        last_aggregate: int | None,
+    ) -> int:
+        source, deps = self._local_source(handle)
+        if last_aggregate is not None:
+            deps = deps + [last_aggregate]
         if handle.kind == "secure_transfer":
             if not isinstance(iotype, TransferType):
                 raise AlgorithmError(
                     f"parameter {pname!r}: aggregated input binds to transfer()"
                 )
-            aggregated = self._aggregate_secure_payloads(handle, f"{step_id}_{pname}")
-            return self.master.store_global_transfer(step_id, aggregated)
-        if handle.kind == "transfer":
-            transfers = self.master.gather_transfers_plain(step_id, dict(handle.tables))
-            if isinstance(iotype, MergeTransferType):
-                return [
-                    self.master.store_global_transfer(step_id, transfer)
-                    for transfer in transfers
-                ]
+            node = SecureAggregateNode(
+                node_id=self.plan.next_id(),
+                deps=self._chain(deps),
+                gather_id=f"{step_id}_{pname}",
+                store_id=step_id,
+                source=source,
+                path=self.aggregation,
+            )
+        elif handle.kind == "transfer":
+            if not isinstance(iotype, MergeTransferType):
+                raise AlgorithmError(
+                    f"parameter {pname!r}: plain transfers bind to merge_transfer()"
+                )
+            node = PlainAggregateNode(
+                node_id=self.plan.next_id(),
+                deps=self._chain(deps),
+                gather_id=step_id,
+                source=source,
+                store=True,
+            )
+        else:
             raise AlgorithmError(
-                f"parameter {pname!r}: plain transfers bind to merge_transfer()"
+                f"parameter {pname!r}: cannot aggregate a {handle.kind!r} output"
             )
-        raise AlgorithmError(
-            f"parameter {pname!r}: cannot aggregate a {handle.kind!r} output"
-        )
+        self._record(node)
+        return node.node_id
 
-    def _aggregate_secure_payloads(self, handle: LocalHandle, job_id: str) -> dict[str, Any]:
-        """Aggregate secure-transfer outputs along the configured path.
-
-        SMPC: the cluster imports shares and aggregates under the protocol.
-        Plain: the paper's non-secure alternative — the transfers travel
-        through remote/merge tables and the master aggregates in the clear.
-        """
-        if self.aggregation == "smpc":
-            return self.master.gather_transfers_secure(
-                job_id, dict(handle.tables), noise=self.noise
-            )
-        from repro.federation.aggregation import aggregate_plain
-
-        transfers = self.master.gather_transfers_plain(job_id, dict(handle.tables))
-        return aggregate_plain(transfers)
+    def _local_source(
+        self, handle: LazyLocalHandle | LocalHandle
+    ) -> tuple[PlanArg, list[int]]:
+        if isinstance(handle, LazyLocalHandle):
+            return PlanArg("ref", ref=handle.ref), [handle.ref.node_id]
+        return PlanArg("local_tables", value=dict(handle.tables)), []
 
     # ------------------------------------------------------------- transfers
 
-    def get_transfer_data(self, handle: GlobalHandle | LocalHandle) -> Any:
-        """Read transfer contents on the master (the Figure 2 final read)."""
+    def get_transfer_data(
+        self, handle: LazyGlobalHandle | GlobalHandle | LazyLocalHandle | LocalHandle
+    ) -> Any:
+        """Read transfer contents on the master (the Figure 2 final read).
+
+        This is a forcing point: the recorded read node — and everything it
+        depends on — materializes before the call returns.
+        """
         self.check_cancelled()
-        if isinstance(handle, GlobalHandle):
-            return self.master.read_transfer(handle.table)
-        if isinstance(handle, LocalHandle):
+        if isinstance(handle, (LazyGlobalHandle, GlobalHandle)):
+            if isinstance(handle, LazyGlobalHandle):
+                source, deps = PlanArg("ref", ref=handle.ref), [handle.ref.node_id]
+            else:
+                source, deps = PlanArg("global_table", value=handle.table), []
+            node = BarrierNode(
+                node_id=self.plan.next_id(), deps=self._chain(deps), source=source
+            )
+            self._record(node)
+            return self.executor.result(node.node_id)
+        if isinstance(handle, (LazyLocalHandle, LocalHandle)):
+            source, deps = self._local_source(handle)
             if handle.kind == "secure_transfer":
                 step_id = f"{self.job_id}_read{next(self._step_counter)}"
-                return self._aggregate_secure_payloads(handle, step_id)
-            if handle.kind == "transfer":
+                node = SecureAggregateNode(
+                    node_id=self.plan.next_id(),
+                    deps=self._chain(deps),
+                    gather_id=step_id,
+                    store_id=None,
+                    source=source,
+                    path=self.aggregation,
+                )
+            elif handle.kind == "transfer":
                 step_id = f"{self.job_id}_read{next(self._step_counter)}"
-                return self.master.gather_transfers_plain(step_id, dict(handle.tables))
-            raise AlgorithmError(f"cannot read a {handle.kind!r} output")
+                node = PlainAggregateNode(
+                    node_id=self.plan.next_id(),
+                    deps=self._chain(deps),
+                    gather_id=step_id,
+                    source=source,
+                    store=False,
+                )
+            else:
+                raise AlgorithmError(f"cannot read a {handle.kind!r} output")
+            self._record(node)
+            return self.executor.result(node.node_id)
         raise AlgorithmError(f"not a handle: {type(handle).__name__}")
 
+    # --------------------------------------------------------------- lifecycle
+
+    def flush(self) -> None:
+        """Wait out every recorded node; surface the first failure in order."""
+        self.executor.flush()
+
     def cleanup(self) -> None:
-        self.master.cleanup(self.job_id, self.workers)
+        self.executor.close()
+        cache = self.executor.cache
+        if cache is None:
+            self.master.cleanup(self.job_id, self.workers)
+            return
+        keep, drops = cache.release_job(self.job_id, self.master.catalog_epoch)
+        self.master.cleanup(self.job_id, self.workers, keep_tables=keep)
+        if drops:
+            self.master.drop_worker_tables(drops)

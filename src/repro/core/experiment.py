@@ -82,6 +82,9 @@ class ExperimentResult:
     #: when a :class:`~repro.observability.profiler.SamplingProfiler` is
     #: attached to the queue).
     profile: str | None = None
+    #: Local steps answered from the cross-experiment plan cache instead of
+    #: being recomputed (0 unless step dedup is enabled).
+    dedup_hits: int = 0
 
 
 class ExperimentEngine:
@@ -100,6 +103,8 @@ class ExperimentEngine:
         noise: NoiseSpec | None = None,
         max_concurrent: int = 1,
         max_queued: int = 128,
+        flow_mode: str | None = None,
+        plan_cache=None,
     ) -> None:
         # Imported lazily: runner/jobs import this module for the result
         # dataclasses, so a module-level import would be circular.
@@ -107,7 +112,13 @@ class ExperimentEngine:
         from repro.core.runner import ExperimentRunner
 
         self.federation = federation
-        self.runner = ExperimentRunner(federation, aggregation=aggregation, noise=noise)
+        self.runner = ExperimentRunner(
+            federation,
+            aggregation=aggregation,
+            noise=noise,
+            flow_mode=flow_mode,
+            plan_cache=plan_cache,
+        )
         self.queue = ExperimentQueue(
             self.runner, max_concurrent=max_concurrent, max_queued=max_queued
         )

@@ -111,6 +111,11 @@ class JobSnapshot:
     wait_seconds: float | None
     elapsed_seconds: float | None
     error: str | None
+    #: Time spent waiting for an executor: the final wait for dispatched
+    #: jobs, the still-growing wait for jobs that are queued right now.
+    queued_seconds: float = 0.0
+    #: Local steps this job answered from the cross-experiment plan cache.
+    dedup_hits: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -122,6 +127,8 @@ class JobSnapshot:
             "wait_seconds": self.wait_seconds,
             "elapsed_seconds": self.elapsed_seconds,
             "error": self.error,
+            "queued_seconds": self.queued_seconds,
+            "dedup_hits": self.dedup_hits,
         }
 
 
@@ -142,6 +149,7 @@ class _Job:
         "submitted_wall",
         "started_wall",
         "finished_wall",
+        "dedup_hits",
     )
 
     def __init__(self, job_id: str, request, priority: int, seq: int) -> None:
@@ -160,6 +168,7 @@ class _Job:
         self.submitted_wall = time.perf_counter()
         self.started_wall: float | None = None
         self.finished_wall: float | None = None
+        self.dedup_hits = 0
 
     def set_state(self, state: JobState) -> None:
         """Transition and record; callers hold the queue's condition."""
@@ -177,6 +186,12 @@ class _Job:
         if self.started_wall is not None:
             end = self.finished_wall or time.perf_counter()
             elapsed = end - self.started_wall
+        if self.started_wall is not None:
+            queued = self.started_wall - self.submitted_wall
+        elif self.state is JobState.QUEUED:
+            queued = time.perf_counter() - self.submitted_wall
+        else:
+            queued = (self.finished_wall or self.submitted_wall) - self.submitted_wall
         return JobSnapshot(
             job_id=self.job_id,
             algorithm=self.request.algorithm,
@@ -186,6 +201,8 @@ class _Job:
             wait_seconds=self.wait_seconds,
             elapsed_seconds=elapsed,
             error=getattr(self.result, "error", None),
+            queued_seconds=queued,
+            dedup_hits=self.dedup_hits,
         )
 
 
@@ -563,6 +580,8 @@ class ExperimentQueue:
                 status=result.status.value,
                 elapsed_seconds=round(result.elapsed_seconds, 6),
             )
+        result.dedup_hits = int(info.get("dedup_hits", 0) or 0)
+        job.dedup_hits = result.dedup_hits
         result.audit = tuple(
             merged_events(federation.audit_logs(), job_id=experiment_id)
         )

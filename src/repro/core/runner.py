@@ -11,10 +11,12 @@ rather than within one experiment at a time.
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Any
 
 from repro.core.context import ExecutionContext
+from repro.core.plan_executor import StepCache
 from repro.core.registry import algorithm_registry
 from repro.core.specs import validate_parameters
 from repro.errors import ExperimentCancelledError, SpecificationError
@@ -37,12 +39,26 @@ class ExperimentRunner:
         aggregation: str = "smpc",
         noise: NoiseSpec | None = None,
         load: WorkerLoad | None = None,
+        flow_mode: str | None = None,
+        plan_cache: StepCache | None = None,
     ) -> None:
         self.federation = federation
         self.aggregation = aggregation
         self.noise = noise
         #: In-flight dataset assignments, shared with the shipping planner.
         self.load = load or WorkerLoad()
+        #: Flow-plan scheduling: ``"eager"`` executes nodes at record time
+        #: (the imperative-equivalent default), ``"pipeline"`` overlaps
+        #: independent nodes.  ``REPRO_FLOW_MODE`` overrides the default.
+        self.flow_mode = flow_mode or os.environ.get("REPRO_FLOW_MODE") or "eager"
+        #: Cross-experiment step dedup: off unless a cache is passed in or
+        #: ``REPRO_PLAN_CACHE`` opts the federation's shared cache in (a
+        #: cache hit reuses another experiment's worker tables, so the
+        #: per-experiment audit trail no longer shows those reads — a
+        #: deliberate trade the operator must choose).
+        if plan_cache is None and _env_truthy("REPRO_PLAN_CACHE"):
+            plan_cache = federation.plan_cache
+        self.plan_cache = plan_cache
 
     def execute(
         self,
@@ -82,6 +98,9 @@ class ExperimentRunner:
                 metadata=metadata,
             )
             result_data = algorithm.run()
+            # Pipeline mode: nodes the algorithm never forced may still be
+            # in flight; surface their failures before declaring success.
+            context.flush()
             context.cleanup()
         except ExperimentCancelledError:
             try:
@@ -93,6 +112,8 @@ class ExperimentRunner:
             self.load.release(assignments)
             if info is not None:
                 info["evicted"] = tuple(sorted(context.evicted))
+                info["plan"] = context.plan
+                info["dedup_hits"] = context.executor.dedup_hits
         return result_data, workers
 
     # --------------------------------------------------------------- helpers
@@ -148,4 +169,10 @@ class ExperimentRunner:
             filter_sql=request.filter_sql,
             job_prefix=experiment_id,
             cancel_event=cancel_event,
+            flow_mode=self.flow_mode,
+            plan_cache=self.plan_cache,
         )
+
+
+def _env_truthy(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() not in ("", "0", "false", "no")

@@ -37,3 +37,59 @@ class GlobalHandle:
     kind: str
     table: str
     shared_to_locals: bool = False
+
+
+class LazyLocalHandle:
+    """A local-step output that may not have materialized yet.
+
+    Returned by the recording :class:`~repro.core.context.ExecutionContext`:
+    kind and sharing flags are static (they come from the UDF's declared
+    output types), while the physical table map forces the producing plan
+    node on first access.  Flows that only pass handles between steps never
+    block; touching ``.tables`` is a true data dependency.
+    """
+
+    __slots__ = ("kind", "shared_to_global", "_executor", "_ref")
+
+    def __init__(self, executor, ref, kind: str, shared_to_global: bool) -> None:
+        self._executor = executor
+        self._ref = ref
+        self.kind = kind
+        self.shared_to_global = shared_to_global
+
+    @property
+    def ref(self):
+        return self._ref
+
+    @property
+    def tables(self) -> Mapping[str, str]:
+        output = self._executor.result(self._ref.node_id, self._ref.index)
+        return output["tables"]
+
+    @property
+    def workers(self) -> list[str]:
+        return sorted(self.tables)
+
+    def table_on(self, worker: str) -> str:
+        return self.tables[worker]
+
+
+class LazyGlobalHandle:
+    """A global-step output that may not have materialized yet."""
+
+    __slots__ = ("kind", "shared_to_locals", "_executor", "_ref")
+
+    def __init__(self, executor, ref, kind: str, shared_to_locals: bool) -> None:
+        self._executor = executor
+        self._ref = ref
+        self.kind = kind
+        self.shared_to_locals = shared_to_locals
+
+    @property
+    def ref(self):
+        return self._ref
+
+    @property
+    def table(self) -> str:
+        output = self._executor.result(self._ref.node_id, self._ref.index)
+        return output["table"]

@@ -268,9 +268,23 @@ class Worker:
         return {"table": table_to_payload(self.database.get_table(table))}
 
     def _handle_cleanup(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Drop step tables: by owning job (with an optional keep-list for
+        tables backing live plan-cache entries), or an explicit table list
+        (expired cache entries whose owning job is long gone)."""
+        if "job_id" not in payload:
+            dropped = []
+            for table in payload.get("tables", ()):
+                if table in self._outputs:
+                    self.database.drop_table(table, if_exists=True)
+                    del self._outputs[table]
+                    dropped.append(table)
+            return {"dropped": dropped}
         job_id = payload["job_id"]
+        keep = set(payload.get("keep", ()))
         dropped = []
         for table, record in list(self._outputs.items()):
+            if table in keep:
+                continue
             # Step job ids are prefixed by the experiment job id.
             if record.job_id == job_id or record.job_id.startswith(f"{job_id}_"):
                 self.database.drop_table(table, if_exists=True)

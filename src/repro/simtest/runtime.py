@@ -58,6 +58,10 @@ class SimRuntime:
         self.transcript = self.scheduler.transcript
         self.deliveries = 0
         self.flow_steps = 0
+        #: Plan nodes dispatched while this simulation was active (counted
+        #: only — plan-node dispatch must not shift fault addressing or the
+        #: scheduler transcript, which are pinned by the replay corpus).
+        self.plan_nodes = 0
         #: Workers a ``revive`` fault brought back (invariant checkers must
         #: not flag their later traffic as post-eviction resurrection).
         self.revived_workers: set[str] = set()
@@ -173,6 +177,15 @@ class SimRuntime:
             self._fired[index] = True
             self._cancel(fault.target, f"fault {fault.spec()} fired step={count}")
         self.scheduler.checkpoint(label)
+
+    def plan_node(self, label: str) -> None:
+        """One flow-plan node was dispatched.
+
+        Deliberately *not* a step boundary: no fault check, no scheduler
+        checkpoint, no transcript entry.  Anything more would renumber the
+        byte-pinned corpus transcripts recorded before the plan IR existed.
+        """
+        self.plan_nodes += 1
 
     def apply_predispatch_cancels(self) -> None:
         """Fire ``cancel@0`` faults (guaranteed pre-dispatch cancellation).

@@ -1,0 +1,138 @@
+"""Plan executor equivalence: pipeline mode is byte-identical to eager mode.
+
+The acceptance bar of the flow-plan refactor: for EVERY registered
+algorithm, executing the recorded plan with the pipelining scheduler must
+produce a byte-identical ``ExperimentResult`` payload and an identical
+normalized trace tree to the eager (imperative-equivalent) path — same
+seed, at transport parallelism 1 and 8.
+"""
+
+import json
+
+import pytest
+
+from repro.api.demo import DEMO_REQUESTS, demo_request
+from repro.core.experiment import ExperimentEngine, ExperimentRequest
+from repro.core.registry import algorithm_registry
+from repro.data.cohorts import CohortSpec, generate_cohort
+from repro.federation.controller import FederationConfig, create_federation
+from repro.observability.trace import normalized_tree, tracer
+
+import repro.algorithms  # noqa: F401
+
+DATASETS = ("edsd", "adni", "ppmi")
+
+_WORKER_SPECS = (
+    ("hospital_a", "edsd", 11),
+    ("hospital_b", "adni", 22),
+    ("hospital_c", "ppmi", 33),
+)
+
+
+def build_worker_data(rows: int = 60):
+    return {
+        worker: {"dementia": generate_cohort(CohortSpec(code, rows, seed=seed))}
+        for worker, code, seed in _WORKER_SPECS
+    }
+
+
+@pytest.fixture(scope="module")
+def worker_data60():
+    return build_worker_data()
+
+
+@pytest.fixture()
+def tracing():
+    was_enabled = tracer.enabled
+    tracer.reset()
+    tracer.enable()
+    yield tracer
+    tracer.reset()
+    if not was_enabled:
+        tracer.disable()
+
+
+def run_mode(worker_data, algorithm, *, flow_mode, parallelism):
+    """One fresh federation + engine run; returns (payload, tree, result)."""
+    tracer.reset()
+    federation = create_federation(
+        worker_data,
+        FederationConfig(
+            smpc_nodes=3, smpc_scheme="shamir", seed=404, parallelism=parallelism
+        ),
+    )
+    engine = ExperimentEngine(federation, aggregation="plain", flow_mode=flow_mode)
+    demo = demo_request(algorithm)
+    try:
+        result = engine.run(
+            ExperimentRequest(
+                algorithm=algorithm,
+                data_model="dementia",
+                datasets=DATASETS,
+                y=demo["y"],
+                x=demo["x"],
+                parameters=demo["parameters"],
+            )
+        )
+    finally:
+        engine.shutdown()
+        federation.shutdown()
+    assert result.status.value == "success", f"{algorithm}: {result.error}"
+    payload = json.dumps(result.result, sort_keys=True)
+    return payload, normalized_tree(), result
+
+
+def test_demo_requests_cover_every_algorithm():
+    assert sorted(DEMO_REQUESTS) == sorted(algorithm_registry.names())
+
+
+@pytest.mark.parametrize("algorithm", sorted(DEMO_REQUESTS))
+def test_pipeline_matches_eager(worker_data60, tracing, algorithm):
+    reference, reference_tree, _ = run_mode(
+        worker_data60, algorithm, flow_mode="eager", parallelism=1
+    )
+    for flow_mode, parallelism in (("pipeline", 1), ("pipeline", 8)):
+        payload, tree, result = run_mode(
+            worker_data60, algorithm, flow_mode=flow_mode, parallelism=parallelism
+        )
+        label = f"{algorithm} [{flow_mode}, par={parallelism}]"
+        assert payload == reference, f"{label}: result payload differs"
+        assert tree == reference_tree, f"{label}: normalized trace differs"
+        assert result.dedup_hits == 0
+
+
+@pytest.mark.parametrize("algorithm", ("linear_regression", "pca"))
+def test_pipeline_matches_eager_smpc(worker_data60, tracing, algorithm):
+    """The secure-aggregation path pipelines identically too (spot check)."""
+
+    def run_smpc(flow_mode):
+        tracer.reset()
+        federation = create_federation(
+            worker_data60,
+            FederationConfig(smpc_nodes=3, smpc_scheme="shamir", seed=404,
+                             parallelism=8),
+        )
+        engine = ExperimentEngine(federation, aggregation="smpc",
+                                  flow_mode=flow_mode)
+        demo = demo_request(algorithm)
+        try:
+            result = engine.run(
+                ExperimentRequest(
+                    algorithm=algorithm,
+                    data_model="dementia",
+                    datasets=DATASETS,
+                    y=demo["y"],
+                    x=demo["x"],
+                    parameters=demo["parameters"],
+                )
+            )
+        finally:
+            engine.shutdown()
+            federation.shutdown()
+        assert result.status.value == "success", f"{algorithm}: {result.error}"
+        return json.dumps(result.result, sort_keys=True), normalized_tree()
+
+    eager_payload, eager_tree = run_smpc("eager")
+    pipeline_payload, pipeline_tree = run_smpc("pipeline")
+    assert pipeline_payload == eager_payload
+    assert pipeline_tree == eager_tree

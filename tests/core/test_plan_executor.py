@@ -1,0 +1,248 @@
+"""The plan executor's step cache: in-flight dedup, refcounts, invalidation."""
+
+import threading
+
+import pytest
+
+from repro.core.experiment import ExperimentEngine, ExperimentRequest
+from repro.core.plan_executor import StepCache
+from repro.errors import ExperimentCancelledError
+
+
+def outputs_for(job: str) -> list[dict]:
+    return [{"kind": "transfer", "tables": {"w1": f"{job}_s1_0_w1"}}]
+
+
+class TestStepCacheBasics:
+    def test_miss_then_publish_then_hit(self):
+        cache = StepCache()
+        claim = cache.acquire("fp1", "jobA")
+        assert not claim.hit
+        cache.publish("fp1", "jobA", outputs_for("jobA"), epoch=0)
+        again = cache.acquire("fp1", "jobB")
+        assert again.hit
+        assert again.owner == "jobA"
+        assert again.outputs == outputs_for("jobA")
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_fail_lets_the_next_caller_own(self):
+        cache = StepCache()
+        cache.acquire("fp1", "jobA")
+        cache.fail("fp1", "jobA")
+        claim = cache.acquire("fp1", "jobB")
+        assert not claim.hit
+        assert cache.stats()["misses"] == 2
+
+    def test_publish_by_non_owner_is_ignored(self):
+        cache = StepCache()
+        cache.acquire("fp1", "jobA")
+        cache.publish("fp1", "jobB", outputs_for("jobB"), epoch=0)
+        # Still computing: a waiter would block, so verify via release_job.
+        keep, _ = cache.release_job("jobA", epoch=0)
+        assert keep == []
+        assert cache.stats()["entries"] == 0
+
+
+class TestInFlightDedup:
+    def test_waiter_receives_published_result(self):
+        cache = StepCache()
+        cache.acquire("fp1", "jobA")
+        got = {}
+
+        def wait_for_it():
+            got["claim"] = cache.acquire("fp1", "jobB")
+
+        waiter = threading.Thread(target=wait_for_it)
+        waiter.start()
+        cache.publish("fp1", "jobA", outputs_for("jobA"), epoch=0)
+        waiter.join(timeout=10)
+        assert not waiter.is_alive()
+        assert got["claim"].hit
+        assert got["claim"].outputs == outputs_for("jobA")
+
+    def test_waiter_takes_over_after_failure(self):
+        cache = StepCache()
+        cache.acquire("fp1", "jobA")
+        got = {}
+
+        def wait_for_it():
+            got["claim"] = cache.acquire("fp1", "jobB")
+
+        waiter = threading.Thread(target=wait_for_it)
+        waiter.start()
+        cache.fail("fp1", "jobA")
+        waiter.join(timeout=10)
+        assert not waiter.is_alive()
+        assert not got["claim"].hit
+
+    def test_waiter_observes_its_own_cancellation(self):
+        cache = StepCache()
+        cache.acquire("fp1", "jobA")
+        cancel = threading.Event()
+        got = {}
+
+        def wait_for_it():
+            try:
+                cache.acquire("fp1", "jobB", cancel_event=cancel)
+            except ExperimentCancelledError as error:
+                got["error"] = error
+
+        waiter = threading.Thread(target=wait_for_it)
+        waiter.start()
+        cancel.set()
+        waiter.join(timeout=10)
+        assert not waiter.is_alive()
+        assert "jobB" in str(got["error"])
+
+
+class TestReleaseJob:
+    def test_owner_keeps_tables_backing_live_entries(self):
+        cache = StepCache()
+        cache.acquire("fp1", "jobA")
+        cache.publish("fp1", "jobA", outputs_for("jobA"), epoch=3)
+        keep, drops = cache.release_job("jobA", epoch=3)
+        # Same epoch: the entry stays cached, so its tables must survive
+        # the owner's job-prefix cleanup.
+        assert keep == ["jobA_s1_0_w1"]
+        assert drops == {}
+        assert cache.stats()["entries"] == 1
+
+    def test_stale_epoch_entries_die_on_release(self):
+        cache = StepCache()
+        cache.acquire("fp1", "jobA")
+        cache.publish("fp1", "jobA", outputs_for("jobA"), epoch=3)
+        keep, drops = cache.release_job("jobA", epoch=4)
+        # The owner's own cleanup drops its tables; nothing to keep or drop.
+        assert keep == [] and drops == {}
+        assert cache.stats()["entries"] == 0
+
+    def test_stale_entries_of_other_jobs_report_drops(self):
+        cache = StepCache()
+        cache.acquire("fp1", "jobA")
+        cache.publish("fp1", "jobA", outputs_for("jobA"), epoch=3)
+        cache.release_job("jobA", epoch=3)  # jobA gone, entry unreferenced
+        _, drops = cache.release_job("jobB", epoch=4)
+        assert drops == {"w1": ["jobA_s1_0_w1"]}
+
+    def test_computing_entry_of_dead_owner_is_buried(self):
+        cache = StepCache()
+        cache.acquire("fp1", "jobA")  # owner never publishes nor fails
+        cache.release_job("jobA", epoch=0)
+        claim = cache.acquire("fp1", "jobB")  # must not wedge forever
+        assert not claim.hit
+
+    def test_lru_eviction_over_capacity(self):
+        cache = StepCache(capacity=2)
+        for index in range(4):
+            fp = f"fp{index}"
+            cache.acquire(fp, "jobA")
+            cache.publish(
+                fp, "jobA",
+                [{"kind": "transfer", "tables": {"w1": f"jobA_s{index}_0_w1"}}],
+                epoch=0,
+            )
+        keep, _ = cache.release_job("jobA", epoch=0)
+        assert cache.stats()["entries"] == 2
+        # The survivors are the two newest entries; only their tables kept.
+        assert keep == ["jobA_s2_0_w1", "jobA_s3_0_w1"]
+
+
+DEMO = dict(
+    algorithm="descriptive_stats",
+    data_model="dementia",
+    datasets=("edsd", "adni", "ppmi"),
+    y=("p_tau",),
+)
+
+
+def run_once(federation, cache, **overrides):
+    request = ExperimentRequest(**{**DEMO, **overrides})
+    engine = ExperimentEngine(federation, aggregation="plain", plan_cache=cache)
+    try:
+        result = engine.run(request)
+    finally:
+        engine.shutdown()
+    assert result.status.value == "success", result.error
+    return result
+
+
+class TestCrossExperimentDedup:
+    def test_identical_experiments_share_local_steps(self, fresh_federation):
+        cache = StepCache()
+        first = run_once(fresh_federation, cache)
+        second = run_once(fresh_federation, cache)
+        assert first.dedup_hits == 0
+        assert second.dedup_hits > 0
+        assert second.result == first.result
+        stats = cache.stats()
+        assert stats["hits"] == second.dedup_hits
+        hits = [e for e in second.audit if e["event"] == "plan_cache_hit"]
+        assert hits and all(e["node"] == "master" for e in hits)
+
+    def test_different_cohorts_never_hit(self, fresh_federation):
+        cache = StepCache()
+        run_once(fresh_federation, cache)
+        other = run_once(fresh_federation, cache, datasets=("edsd", "adni"))
+        assert other.dedup_hits == 0
+
+    def test_catalog_epoch_invalidates(self, fresh_federation):
+        cache = StepCache()
+        run_once(fresh_federation, cache)
+        epoch = fresh_federation.master.catalog_epoch
+        fresh_federation.set_worker_down("hospital_c", True)
+        fresh_federation.set_worker_down("hospital_c", False)
+        assert fresh_federation.master.catalog_epoch > epoch
+        after = run_once(fresh_federation, cache)
+        assert after.dedup_hits == 0
+
+    def test_disabled_by_default(self, fresh_federation):
+        first = run_once(fresh_federation, None)
+        second = run_once(fresh_federation, None)
+        assert first.dedup_hits == 0 and second.dedup_hits == 0
+
+    def test_cache_metrics_exposed(self, fresh_federation):
+        run_once(fresh_federation, fresh_federation.plan_cache)
+        run_once(fresh_federation, fresh_federation.plan_cache)
+        snapshot = fresh_federation.metrics_registry().snapshot()
+        assert snapshot["repro_plan_cache_hits_total"] > 0
+        assert snapshot["repro_plan_cache_misses_total"] > 0
+        assert "repro_plan_cache_entries" in snapshot
+        assert 0.0 < snapshot["repro_plan_cache_hit_ratio"] < 1.0
+
+    def test_dedup_hits_surface_on_job_snapshots(self, fresh_federation):
+        cache = StepCache()
+        request = ExperimentRequest(**DEMO)
+        engine = ExperimentEngine(fresh_federation, aggregation="plain",
+                                  plan_cache=cache)
+        try:
+            engine.run(request)
+            engine.run(request)
+            snapshots = engine.jobs()
+        finally:
+            engine.shutdown()
+        assert snapshots[0].dedup_hits == 0
+        assert snapshots[1].dedup_hits > 0
+        assert snapshots[1].to_dict()["dedup_hits"] == snapshots[1].dedup_hits
+        assert snapshots[1].queued_seconds >= 0.0
+
+
+class TestFlowModeValidation:
+    def test_unknown_flow_mode_rejected(self, fresh_federation):
+        engine = ExperimentEngine(fresh_federation, aggregation="plain",
+                                  flow_mode="speculative")
+        try:
+            result = engine.run(ExperimentRequest(**DEMO))
+        finally:
+            engine.shutdown()
+        assert result.status.value == "error"
+        assert "unknown flow mode" in result.error
+
+    def test_pipeline_mode_runs_clean(self, fresh_federation):
+        engine = ExperimentEngine(fresh_federation, aggregation="plain",
+                                  flow_mode="pipeline")
+        try:
+            result = engine.run(ExperimentRequest(**DEMO))
+        finally:
+            engine.shutdown()
+        assert result.status.value == "success", result.error
+        assert result.dedup_hits == 0
