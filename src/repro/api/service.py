@@ -34,8 +34,21 @@ class MIPService:
         max_queued: int = 128,
         flow_mode: str | None = None,
         plan_cache=None,
+        state_dir: str | None = None,
+        fsync_every: int = 8,
     ) -> None:
         self.federation = federation
+        #: Durable execution: with ``state_dir`` set, every job lifecycle
+        #: transition is journaled and every federation read is
+        #: checkpointed, so a crashed service restarted on the same
+        #: directory replays the journal, restores finished results, and
+        #: resumes interrupted experiments from their last checkpoint.
+        self.durability = None
+        self.recovery: dict[str, Any] | None = None
+        if state_dir is not None:
+            from repro.durability.recovery import DurabilityManager
+
+            self.durability = DurabilityManager(state_dir, fsync_every=fsync_every)
         self.engine = ExperimentEngine(
             federation,
             aggregation=aggregation,
@@ -44,7 +57,33 @@ class MIPService:
             max_queued=max_queued,
             flow_mode=flow_mode,
             plan_cache=plan_cache,
+            durability=self.durability,
         )
+        if self.durability is not None:
+            self.recovery = self._recover()
+
+    def _recover(self) -> dict[str, Any]:
+        """Replay the journal: restore history, re-enqueue interrupted jobs."""
+        report = self.durability.recover()
+        master_audit = self.federation.master.audit
+        for job_id, result in report.completed.items():
+            self.engine.queue.history.put(job_id, result)
+        for job_id, request, priority in report.pending:
+            reads = self.durability.prepare_resume(job_id, request)
+            master_audit.record(
+                "experiment_resumed",
+                job_id=job_id,
+                checkpoint_reads=reads,
+                algorithm=request.algorithm,
+            )
+            self.engine.submit(request, priority=priority, experiment_id=job_id)
+        return report.to_dict()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the engine and flush/close the journal (if any)."""
+        self.engine.shutdown(wait=wait)
+        if self.durability is not None:
+            self.durability.close()
 
     # --------------------------------------------------------- data catalogue
 
@@ -213,6 +252,8 @@ class MIPService:
                     yield (f"repro_experiment_duration_{key}_seconds", {}, estimate)
 
         registry.register_collector(queue_samples)
+        if self.durability is not None:
+            registry.register_collector(self.durability.metrics_samples)
         return registry
 
     def metrics_snapshot(self) -> dict[str, Any]:
@@ -321,6 +362,8 @@ class MIPService:
             },
             "queue": self.engine.queue.stats(),
         }
+        if self.durability is not None:
+            payload["durability"] = self.durability.stats()
         cluster = self.federation.smpc_cluster
         if cluster is not None:
             payload["smpc"] = {

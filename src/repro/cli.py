@@ -93,12 +93,25 @@ def build_parser() -> argparse.ArgumentParser:
     cancel = subcommands.add_parser(
         "cancel", help="submit a batch, cancel the last queued job, list states"
     )
-    for subparser in (submit, jobs, cancel):
+    resume = subcommands.add_parser(
+        "resume",
+        help="restart from a durable --state-dir: replay the journal, "
+             "restore finished results, resume interrupted experiments",
+    )
+    resume.add_argument("--state-dir", required=True, metavar="DIR",
+                        help="the state directory of the crashed run (data "
+                             "flags must match the original invocation)")
+    for subparser in (submit, jobs, cancel, resume):
         subparser.add_argument("--pool", type=int, default=2,
                                help="executor pool size (default 2)")
     for subparser in (jobs, cancel):
         subparser.add_argument("--repeat", type=int, default=4,
                                help="number of experiments to submit (default 4)")
+    for subparser in (run, submit, jobs, cancel):
+        subparser.add_argument("--state-dir", default=None, metavar="DIR",
+                               help="durable state directory: journal every "
+                                    "job lifecycle and checkpoint federation "
+                                    "reads so `repro resume` can recover")
 
     profile = subcommands.add_parser(
         "profile",
@@ -195,10 +208,16 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--write-corpus", metavar="PATH", default=None,
                       help="append the scenarios this session ran to a "
                            "corpus file")
+    fuzz.add_argument("--master-crash", action="store_true",
+                      help="admit crash@N:master faults (kill-and-restart "
+                           "recovery) into the sampled fault plans")
 
-    for subparser in (run, trace, metrics, submit, jobs, cancel, profile):
-        # `repro profile` can take a script instead of an experiment.
-        subparser.add_argument("--algorithm", required=subparser is not profile)
+    for subparser in (run, trace, metrics, submit, jobs, cancel, profile, resume):
+        # `repro profile` can take a script instead of an experiment;
+        # `repro resume` takes its work from the journal.
+        subparser.add_argument(
+            "--algorithm", required=subparser not in (profile, resume)
+        )
         subparser.add_argument("--data-model", default="dementia")
         subparser.add_argument("--datasets", nargs="*", default=None,
                                help="dataset codes (default: all available)")
@@ -270,6 +289,7 @@ def build_service(args: argparse.Namespace) -> MIPService:
         federation,
         aggregation=getattr(args, "aggregation", "smpc"),
         pool_size=getattr(args, "pool", 1),
+        state_dir=getattr(args, "state_dir", None),
     )
 
 
@@ -477,6 +497,36 @@ def command_cancel(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_resume(args: argparse.Namespace) -> int:
+    """`repro resume`: recover a durable state directory and finish its jobs.
+
+    Prints the recovery report (restored/resumed jobs, journal health), then
+    drives every resumed experiment to a terminal state and reports each.
+    """
+    service = build_service(args)
+    recovery = service.recovery or {}
+    resumed = []
+    for job_id in recovery.get("resumed", ()):
+        result = service.wait_experiment(job_id)
+        entry = {
+            "experiment_id": result.experiment_id,
+            "status": result.status.value,
+            "elapsed_seconds": round(result.elapsed_seconds, 4),
+        }
+        if result.status.value == "success":
+            entry["result"] = result.result
+        else:
+            entry["error"] = result.error
+        resumed.append(entry)
+    print(json.dumps({
+        "recovery": recovery,
+        "resumed_results": resumed,
+        "durability": service.durability.stats(),
+    }, indent=2))
+    service.shutdown()
+    return 0 if all(r["status"] == "success" for r in resumed) else 1
+
+
 def command_profile(args: argparse.Namespace) -> int:
     """`repro profile`: sample a run, export flamegraph + critical path.
 
@@ -665,6 +715,7 @@ def command_fuzz(args: argparse.Namespace) -> int:
         seed=args.seed,
         budget_seconds=args.budget_seconds,
         emit=print,
+        master_crash=args.master_crash,
     )
     if args.write_corpus:
         fuzz_mod.write_corpus(args.write_corpus, result.specs)
@@ -694,6 +745,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "submit": command_submit,
         "jobs": command_jobs,
         "cancel": command_cancel,
+        "resume": command_resume,
         "profile": command_profile,
         "plan": command_plan,
         "health": command_health,

@@ -93,6 +93,8 @@ class ExecutionContext:
         cancel_event: threading.Event | None = None,
         flow_mode: str | None = None,
         plan_cache: StepCache | None = None,
+        durability=None,
+        resume_reads: Sequence[Mapping[str, Any]] | None = None,
     ) -> None:
         if aggregation not in ("smpc", "plain"):
             raise AlgorithmError(f"unknown aggregation path {aggregation!r}")
@@ -124,6 +126,19 @@ class ExecutionContext:
         # uses share the placement work instead of re-shipping.
         self._bcast_nodes: dict[Any, int] = {}
         self._last_node: int | None = None
+        #: Durability sink: every forced read is recorded (journal `step`
+        #: record + atomic checkpoint) so a crashed experiment can resume
+        #: from its last read instead of step 0.
+        self._durability = durability
+        #: Recorded read frontier from a recovered checkpoint.  While it is
+        #: being replayed, plan nodes are submitted as *ghosts* (recorded
+        #: but never executed) and reads are answered from the log; the
+        #: first read past the log — or a key mismatch — switches to live
+        #: execution.
+        self._resume = [dict(entry) for entry in resume_reads] if resume_reads else None
+        self._resume_pos = 0
+        self.replayed_reads = 0
+        self.resume_diverged = False
 
     # ----------------------------------------------------------- cancellation
 
@@ -171,7 +186,13 @@ class ExecutionContext:
         """
         self.plan.add(node)
         self._last_node = node.node_id
-        self.executor.submit(node)
+        if self._replaying():
+            self.executor.submit_ghost(node)
+        else:
+            self.executor.submit(node)
+
+    def _replaying(self) -> bool:
+        return self._resume is not None and self._resume_pos < len(self._resume)
 
     def _chain(self, deps: list[int]) -> tuple[int, ...]:
         """Finalize a node's dependency edges (dedup + degrade-order chain)."""
@@ -452,7 +473,7 @@ class ExecutionContext:
                 node_id=self.plan.next_id(), deps=self._chain(deps), source=source
             )
             self._record(node)
-            return self.executor.result(node.node_id)
+            return self._force_read(node)
         if isinstance(handle, (LazyLocalHandle, LocalHandle)):
             source, deps = self._local_source(handle)
             if handle.kind == "secure_transfer":
@@ -477,8 +498,39 @@ class ExecutionContext:
             else:
                 raise AlgorithmError(f"cannot read a {handle.kind!r} output")
             self._record(node)
-            return self.executor.result(node.node_id)
+            return self._force_read(node)
         raise AlgorithmError(f"not a handle: {type(handle).__name__}")
+
+    def _force_read(self, node) -> Any:
+        """Materialize one read node — from the resume log while replaying,
+        live otherwise — and record the value for checkpointing.
+
+        The read key ties the recorded value to the exact plan node that
+        produced it (node ids are deterministic functions of the recorded
+        flow), so replaying over a *different* plan is detected as a key
+        mismatch: replay is abandoned and the flow runs live from this
+        point, which is always correct, just slower.
+        """
+        key = f"{type(node).__name__}:n{node.node_id}"
+        if self._replaying():
+            entry = self._resume[self._resume_pos]
+            if entry.get("key") == key:
+                self._resume_pos += 1
+                self.replayed_reads += 1
+                value = entry.get("value")
+                self.executor.set_replayed(node.node_id, value)
+                if self._durability is not None:
+                    # Re-record so this life's checkpoint covers the whole
+                    # frontier — a second crash resumes from here, not from
+                    # the first crash's frontier.
+                    self._durability.record_read(self.job_id, key, value)
+                return value
+            self._resume_pos = len(self._resume)
+            self.resume_diverged = True
+        value = self.executor.result(node.node_id)
+        if self._durability is not None:
+            self._durability.record_read(self.job_id, key, value)
+        return value
 
     # --------------------------------------------------------------- lifecycle
 

@@ -45,6 +45,32 @@ class ExperimentRequest:
     filter_sql: str | None = None
     name: str = ""
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (persisted verbatim in the durability journal)."""
+        return {
+            "algorithm": self.algorithm,
+            "data_model": self.data_model,
+            "datasets": list(self.datasets),
+            "y": list(self.y),
+            "x": list(self.x),
+            "parameters": dict(self.parameters),
+            "filter_sql": self.filter_sql,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentRequest":
+        return cls(
+            algorithm=str(payload["algorithm"]),
+            data_model=str(payload["data_model"]),
+            datasets=tuple(payload.get("datasets", ())),
+            y=tuple(payload.get("y", ())),
+            x=tuple(payload.get("x", ())),
+            parameters=dict(payload.get("parameters", {})),
+            filter_sql=payload.get("filter_sql"),
+            name=str(payload.get("name", "")),
+        )
+
 
 @dataclass(frozen=True)
 class ExperimentTelemetry:
@@ -55,6 +81,27 @@ class ExperimentTelemetry:
     simulated_network_seconds: float = 0.0
     smpc_rounds: int = 0
     smpc_elements: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "messages": self.messages,
+            "bytes_sent": self.bytes_sent,
+            "simulated_network_seconds": self.simulated_network_seconds,
+            "smpc_rounds": self.smpc_rounds,
+            "smpc_elements": self.smpc_elements,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentTelemetry":
+        return cls(
+            messages=int(payload.get("messages", 0)),
+            bytes_sent=int(payload.get("bytes_sent", 0)),
+            simulated_network_seconds=float(
+                payload.get("simulated_network_seconds", 0.0)
+            ),
+            smpc_rounds=int(payload.get("smpc_rounds", 0)),
+            smpc_elements=int(payload.get("smpc_elements", 0)),
+        )
 
 
 @dataclass
@@ -86,6 +133,44 @@ class ExperimentResult:
     #: being recomputed (0 unless step dedup is enabled).
     dedup_hits: int = 0
 
+    def to_dict(self) -> dict[str, Any]:
+        """Full JSON round-trip form, including audit, evictions and the
+        critical-path analysis — what durability snapshots persist and what
+        ``repro jobs`` output can be diffed against."""
+        return {
+            "experiment_id": self.experiment_id,
+            "request": self.request.to_dict(),
+            "status": self.status.value,
+            "result": self.result,
+            "error": self.error,
+            "elapsed_seconds": self.elapsed_seconds,
+            "workers": list(self.workers),
+            "telemetry": self.telemetry.to_dict(),
+            "audit": [dict(event) for event in self.audit],
+            "evicted": list(self.evicted),
+            "critical_path": self.critical_path,
+            "profile": self.profile,
+            "dedup_hits": self.dedup_hits,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentResult":
+        return cls(
+            experiment_id=str(payload["experiment_id"]),
+            request=ExperimentRequest.from_dict(payload["request"]),
+            status=ExperimentStatus(payload["status"]),
+            result=dict(payload.get("result", {})),
+            error=payload.get("error"),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            workers=tuple(payload.get("workers", ())),
+            telemetry=ExperimentTelemetry.from_dict(payload.get("telemetry", {})),
+            audit=tuple(payload.get("audit", ())),
+            evicted=tuple(payload.get("evicted", ())),
+            critical_path=payload.get("critical_path"),
+            profile=payload.get("profile"),
+            dedup_hits=int(payload.get("dedup_hits", 0)),
+        )
+
 
 class ExperimentEngine:
     """Runs experiments against a federation.
@@ -105,6 +190,7 @@ class ExperimentEngine:
         max_queued: int = 128,
         flow_mode: str | None = None,
         plan_cache=None,
+        durability=None,
     ) -> None:
         # Imported lazily: runner/jobs import this module for the result
         # dataclasses, so a module-level import would be circular.
@@ -112,15 +198,23 @@ class ExperimentEngine:
         from repro.core.runner import ExperimentRunner
 
         self.federation = federation
+        #: Optional :class:`~repro.durability.recovery.DurabilityManager`
+        #: shared by the queue (journaling) and the runner (checkpointed
+        #: reads + resume); ``MIPService(state_dir=...)`` wires one in.
+        self.durability = durability
         self.runner = ExperimentRunner(
             federation,
             aggregation=aggregation,
             noise=noise,
             flow_mode=flow_mode,
             plan_cache=plan_cache,
+            durability=durability,
         )
         self.queue = ExperimentQueue(
-            self.runner, max_concurrent=max_concurrent, max_queued=max_queued
+            self.runner,
+            max_concurrent=max_concurrent,
+            max_queued=max_queued,
+            durability=durability,
         )
 
     # Algorithm code and tests read these off the engine; they live on the

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Any
 from repro.errors import (
     ExperimentCancelledError,
     ExperimentNotFoundError,
+    MasterCrashError,
     QueueFullError,
     ReproError,
 )
@@ -250,12 +251,17 @@ class ExperimentQueue:
         runner: "ExperimentRunner",
         max_concurrent: int = 1,
         max_queued: int = 128,
+        durability=None,
     ) -> None:
         if max_concurrent < 1:
             raise QueueFullError("max_concurrent must be >= 1")
         if max_queued < 1:
             raise QueueFullError("max_queued must be >= 1")
         self.runner = runner
+        #: Optional :class:`~repro.durability.recovery.DurabilityManager`;
+        #: when set, every lifecycle transition is journaled — submit and
+        #: terminal records are fsync'd before the transition is visible.
+        self.durability = durability
         self.max_concurrent = max_concurrent
         self.max_queued = max_queued
         self.history = HistoryStore()
@@ -345,6 +351,11 @@ class ExperimentQueue:
                 )
             if job_id in self._jobs:
                 raise QueueFullError(f"job {job_id!r} is already submitted")
+            if self.durability is not None:
+                # Write-ahead: the submit record is durable before the job
+                # becomes claimable, so a crash can never run a job the
+                # journal does not know about.
+                self.durability.record_submit(job_id, request, priority)
             job = _Job(job_id, request, priority, next(self._seq))
             self._jobs[job_id] = job
             job.set_state(JobState.QUEUED)
@@ -390,6 +401,8 @@ class ExperimentQueue:
             job.cancel_event.set()
             self._queued_count -= 1
             self._finalize_locked(job, self._cancelled_result(job, pre_dispatch=True))
+        if self.durability is not None:
+            self.durability.record_terminal(job_id, job.result)
         master_audit = self.runner.federation.master.audit
         master_audit.record(
             "experiment_cancelled", job_id=job_id, pre_dispatch=True
@@ -445,8 +458,11 @@ class ExperimentQueue:
         tombstone (the caller just tries again).
         """
         _neg_priority, _seq, job_id = heapq.heappop(self._heap)
-        job = self._jobs[job_id]
-        if job.state is not JobState.QUEUED:
+        # .get, not [..]: a heap entry can outlive its job (e.g. recovery
+        # replaying a journal that references a pruned job) — treat it as a
+        # tombstone instead of leaking a bare KeyError out of the executor.
+        job = self._jobs.get(job_id)
+        if job is None or job.state is not JobState.QUEUED:
             return None
         job.set_state(JobState.RUNNING)
         job.started_wall = time.perf_counter()
@@ -457,13 +473,29 @@ class ExperimentQueue:
 
     def _execute_claimed(self, job: _Job) -> None:
         """Run one claimed job to a terminal state (any executor context)."""
+        if self.durability is not None:
+            self.durability.record_dispatch(job.job_id)
         try:
             result = self._run_job(job)
+        except MasterCrashError:
+            # Simulated master crash: the "process" died mid-flow.  No
+            # finalize, no terminal journal record — recovery re-enqueues
+            # the job from its last checkpoint after restart.  (The finally
+            # below still releases the executor slot.)
+            return
         finally:
             with self._cond:
                 self._running_count -= 1
-        with self._cond:
-            self._finalize_locked(job, result)
+        # Journal the terminal record *before* waiters can observe the
+        # result: once wait() returns, the caller may exit the process, and
+        # an acknowledged result must already be durable.  finally: even a
+        # failing journal write must not leave waiters hanging.
+        try:
+            if self.durability is not None:
+                self.durability.record_terminal(job.job_id, result)
+        finally:
+            with self._cond:
+                self._finalize_locked(job, result)
 
     # ------------------------------------------------------- simulation mode
 
@@ -558,6 +590,11 @@ class ExperimentQueue:
                         telemetry=self._collect_telemetry(experiment_id),
                         evicted=tuple(info.get("evicted", ())),
                     )
+                except MasterCrashError:
+                    # A simulated crash is process death, not a job failure:
+                    # it must not be converted into an ERROR result (the
+                    # in-memory state is about to vanish anyway).
+                    raise
                 except BaseException as exc:  # noqa: BLE001 - reraised in wait()
                     # A programming error must not kill the executor thread;
                     # it surfaces to whoever wait()s on the job, exactly like

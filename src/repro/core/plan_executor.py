@@ -254,7 +254,7 @@ class StepCache:
 
 class _NodeState:
     __slots__ = ("node", "done", "result", "error", "failed_dep", "parent_span",
-                 "fingerprint", "thread")
+                 "fingerprint", "thread", "ghost")
 
     def __init__(self, node: PlanNode, parent_span) -> None:
         self.node = node
@@ -265,6 +265,11 @@ class _NodeState:
         self.parent_span = parent_span
         self.fingerprint: str | None = None
         self.thread: threading.Thread | None = None
+        #: Checkpoint replay: a ghost node is recorded in the plan but not
+        #: executed — its value either arrives from the resume log
+        #: (:meth:`PlanExecutor.set_replayed`) or it materializes lazily
+        #: when a live node references it.
+        self.ghost = False
 
 
 class PlanExecutor:
@@ -320,6 +325,40 @@ class PlanExecutor:
         state.thread = thread
         thread.start()
 
+    def submit_ghost(self, node: PlanNode) -> None:
+        """Record a node during checkpoint replay without executing it.
+
+        Replay answers the flow's reads from the recorded frontier, so the
+        steps behind those reads must not re-run (their side effects —
+        worker tables, SMPC traffic, privacy spend — already happened in a
+        previous life).  A ghost that a post-replay *live* node references
+        materializes on demand via :meth:`_ensure`.
+        """
+        state = _NodeState(node, tracer.current())
+        state.ghost = True
+        with self._lock:
+            self._states[node.node_id] = state
+            self._order.append(node.node_id)
+
+    def set_replayed(self, node_id: int, value: Any) -> None:
+        """Resolve a ghost read node to its checkpointed value."""
+        state = self._states[node_id]
+        state.result = value
+        state.done.set()
+
+    def _ensure(self, node_id: int) -> _NodeState:
+        """The node's state, materialized if it is still an unrun ghost."""
+        state = self._states[node_id]
+        if state.ghost and not state.done.is_set():
+            # Materializing binds the node's arguments, which recurses into
+            # _ensure for its referenced ghosts — only the true data
+            # dependencies re-execute, never the whole recorded prefix.
+            state.ghost = False
+            self._run_node(state)
+            if state.error is not None:
+                raise state.error
+        return state
+
     def _pipeline_node(self, state: _NodeState) -> None:
         """Thread body: wait for dependency edges, then run the node."""
         job = transport_mod.current_job()
@@ -343,7 +382,7 @@ class PlanExecutor:
 
     def result(self, node_id: int, index: int | None = None) -> Any:
         """Materialize one node's result (the data-dependency barrier)."""
-        state = self._states[node_id]
+        state = self._ensure(node_id)
         if self.mode == "pipeline":
             state.done.wait()
         if state.error is not None:
@@ -365,6 +404,10 @@ class PlanExecutor:
         """Wait for every submitted node; raise the first failure in order."""
         for node_id in list(self._order):
             state = self._states[node_id]
+            if state.ghost and not state.done.is_set():
+                # An unreferenced ghost never ran — there is nothing to
+                # wait for and no failure to surface.
+                continue
             if self.mode == "pipeline":
                 state.done.wait()
             if state.error is not None:
@@ -508,7 +551,7 @@ class PlanExecutor:
         # A reference: either an upstream local step's output slot or a
         # broadcast node's placement map.
         assert arg.ref is not None
-        upstream = self._states[arg.ref.node_id]
+        upstream = self._ensure(arg.ref.node_id)
         value = upstream.result
         if isinstance(upstream.node, BroadcastNode):
             placements: Mapping[str, str] = value
@@ -555,14 +598,14 @@ class PlanExecutor:
         if source.kind == "local_tables":
             return dict(source.value)
         assert source.ref is not None
-        output = self._states[source.ref.node_id].result[source.ref.index]
+        output = self._ensure(source.ref.node_id).result[source.ref.index]
         return dict(output["tables"])
 
     def _resolve_global_table(self, source: PlanArg) -> str:
         if source.kind == "global_table":
             return str(source.value)
         assert source.ref is not None
-        return self._states[source.ref.node_id].result[source.ref.index]["table"]
+        return self._ensure(source.ref.node_id).result[source.ref.index]["table"]
 
     def _exec_secure_aggregate(self, node: SecureAggregateNode, state: _NodeState):
         ctx = self.ctx
@@ -620,7 +663,7 @@ class PlanExecutor:
         if arg.kind == "global_table":
             return str(arg.value)
         assert arg.ref is not None
-        upstream = self._states[arg.ref.node_id]
+        upstream = self._ensure(arg.ref.node_id)
         if isinstance(upstream.node, (SecureAggregateNode, PlainAggregateNode)):
             return upstream.result
         return upstream.result[arg.ref.index]["table"]

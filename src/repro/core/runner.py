@@ -41,10 +41,16 @@ class ExperimentRunner:
         load: WorkerLoad | None = None,
         flow_mode: str | None = None,
         plan_cache: StepCache | None = None,
+        durability=None,
     ) -> None:
         self.federation = federation
         self.aggregation = aggregation
         self.noise = noise
+        #: Optional :class:`~repro.durability.recovery.DurabilityManager`.
+        #: The runner threads it into every execution context: reads are
+        #: checkpointed as they happen, and a job recovered after a crash
+        #: replays its recorded frontier instead of re-executing from step 0.
+        self.durability = durability
         #: In-flight dataset assignments, shared with the shipping planner.
         self.load = load or WorkerLoad()
         #: Flow-plan scheduling: ``"eager"`` executes nodes at record time
@@ -160,6 +166,15 @@ class ExperimentRunner:
         plan = plan_shipping(
             model_availability, request.datasets, current_load=self.load.snapshot()
         )
+        resume_reads = None
+        flow_mode = self.flow_mode
+        if self.durability is not None:
+            resume_reads = self.durability.take_resume_reads(experiment_id)
+            if resume_reads:
+                # Replay needs record-order forcing: ghost nodes answer
+                # reads from the checkpoint in program order, which the
+                # pipeline scheduler does not guarantee.
+                flow_mode = "eager"
         return ExecutionContext(
             master=master,
             data_model=request.data_model,
@@ -169,8 +184,10 @@ class ExperimentRunner:
             filter_sql=request.filter_sql,
             job_prefix=experiment_id,
             cancel_event=cancel_event,
-            flow_mode=self.flow_mode,
-            plan_cache=self.plan_cache,
+            flow_mode=flow_mode,
+            plan_cache=None if resume_reads else self.plan_cache,
+            durability=self.durability,
+            resume_reads=resume_reads,
         )
 
 

@@ -1,0 +1,234 @@
+"""Append-only, CRC-framed JSONL write-ahead journal.
+
+Frame format — one record per line::
+
+    crc32_hex8 SP canonical_json LF
+
+The CRC covers the JSON payload bytes only, so a frame is self-validating:
+a torn write (partial line at the tail after a crash) or a flipped bit is
+detected on open and the journal is truncated back to its last valid frame.
+Records after the first invalid frame are discarded — they are causally
+newer than the corruption, and replaying them over a hole could reorder
+lifecycle transitions.
+
+Writes go through an ``O_APPEND`` raw file descriptor with ``os.write`` so
+that an in-process simulated crash leaves exactly the bytes that were
+written — there is no userspace buffer to lose.  ``fsync`` is batched:
+every ``fsync_every`` appends, plus on demand for records that must be
+durable before the caller proceeds (terminal results).
+
+Segments rotate at ``segment_max_bytes``; sequence numbers are global and
+monotone across segments, so replay order never depends on file mtimes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+_SEGMENT_RE = re.compile(r"^journal-(\d{6})\.wal$")
+
+
+def _frame(payload: dict[str, Any]) -> bytes:
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return b"%08x %s\n" % (crc, body)
+
+
+def _parse_frame(line: bytes) -> dict[str, Any] | None:
+    """Decode one journal line; ``None`` means the frame is invalid."""
+    if len(line) < 10 or line[8:9] != b" ":
+        return None
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        return None
+    body = line[9:]
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        record = json.loads(body)
+    except ValueError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def _scan_segment(path: str) -> tuple[list[dict[str, Any]], int, int]:
+    """Read every valid frame of a segment.
+
+    Returns ``(records, valid_end, size)`` where ``valid_end`` is the byte
+    offset just past the last valid frame — everything after it is torn or
+    corrupt.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    records: list[dict[str, Any]] = []
+    pos = 0
+    while pos < len(data):
+        newline = data.find(b"\n", pos)
+        if newline == -1:
+            break  # torn tail: no closing newline
+        record = _parse_frame(data[pos:newline])
+        if record is None:
+            break
+        records.append(record)
+        pos = newline + 1
+    return records, pos, len(data)
+
+
+@dataclass
+class JournalStats:
+    """Counters exposed through the observability registry."""
+
+    appends_total: int = 0
+    fsyncs_total: int = 0
+    bytes_appended_total: int = 0
+    rotations_total: int = 0
+    recovered_records: int = 0
+    dropped_bytes: int = 0
+    dropped_segments: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class Journal:
+    """One append-only journal under ``<directory>/``.
+
+    Opening scans existing segments oldest-first, truncates the first
+    corrupt/torn frame (and discards any later segments), and resumes
+    appending after the highest recovered sequence number.
+    """
+
+    directory: str
+    fsync_every: int = 8
+    segment_max_bytes: int = 1 << 20
+    recovered_records: list[dict[str, Any]] = field(default_factory=list, repr=False)
+    stats: JournalStats = field(default_factory=JournalStats, repr=False)
+
+    def __post_init__(self) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._fd: int | None = None
+        self._seq = 0
+        self._pending_fsync = 0
+        self._segment_index = 0
+        self._segment_bytes = 0
+        self._recover()
+
+    # ---------------------------------------------------------------- open
+
+    def _segments(self) -> list[tuple[int, str]]:
+        found = []
+        for name in os.listdir(self.directory):
+            match = _SEGMENT_RE.match(name)
+            if match:
+                found.append((int(match.group(1)), os.path.join(self.directory, name)))
+        return sorted(found)
+
+    def _recover(self) -> None:
+        segments = self._segments()
+        corrupted_at: int | None = None
+        for position, (index, path) in enumerate(segments):
+            records, valid_end, size = _scan_segment(path)
+            self.recovered_records.extend(records)
+            self._segment_index = index
+            if valid_end < size:
+                # Torn or corrupt frame: cut the segment back to its last
+                # valid frame and drop every later segment — records past
+                # the hole cannot be replayed in order.
+                self.stats.dropped_bytes += size - valid_end
+                with open(path, "ab") as handle:
+                    handle.truncate(valid_end)
+                corrupted_at = position
+                break
+        if corrupted_at is not None:
+            for _, path in segments[corrupted_at + 1 :]:
+                self.stats.dropped_bytes += os.path.getsize(path)
+                self.stats.dropped_segments += 1
+                os.unlink(path)
+        self.stats.recovered_records = len(self.recovered_records)
+        for record in self.recovered_records:
+            seq = record.get("seq")
+            if isinstance(seq, int) and seq > self._seq:
+                self._seq = seq
+        if segments:
+            self._segment_bytes = os.path.getsize(self._segment_path(self._segment_index))
+        else:
+            self._segment_index = 1
+
+    def _segment_path(self, index: int) -> str:
+        return os.path.join(self.directory, f"journal-{index:06d}.wal")
+
+    # -------------------------------------------------------------- append
+
+    def append(self, kind: str, payload: dict[str, Any], sync: bool = False) -> int:
+        """Append one record; returns its sequence number.
+
+        ``sync=True`` forces an fsync before returning (used for terminal
+        records — a result must not be reported and then lost).
+        """
+        with self._lock:
+            self._seq += 1
+            record = {"seq": self._seq, "kind": kind}
+            record.update(payload)
+            frame = _frame(record)
+            if self._segment_bytes + len(frame) > self.segment_max_bytes and self._segment_bytes > 0:
+                self._rotate_locked()
+            fd = self._ensure_fd_locked()
+            os.write(fd, frame)
+            self._segment_bytes += len(frame)
+            self.stats.appends_total += 1
+            self.stats.bytes_appended_total += len(frame)
+            self._pending_fsync += 1
+            if sync or self._pending_fsync >= self.fsync_every:
+                self._fsync_locked()
+            return self._seq
+
+    def _ensure_fd_locked(self) -> int:
+        if self._fd is None:
+            self._fd = os.open(
+                self._segment_path(self._segment_index),
+                os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                0o644,
+            )
+        return self._fd
+
+    def _rotate_locked(self) -> None:
+        self._fsync_locked()
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+        self._segment_index += 1
+        self._segment_bytes = 0
+        self.stats.rotations_total += 1
+
+    def _fsync_locked(self) -> None:
+        if self._fd is not None and self._pending_fsync > 0:
+            os.fsync(self._fd)
+            self.stats.fsyncs_total += 1
+        self._pending_fsync = 0
+
+    def sync(self) -> None:
+        """Flush any batched appends to stable storage."""
+        with self._lock:
+            self._fsync_locked()
+
+    def close(self) -> None:
+        with self._lock:
+            self._fsync_locked()
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+    # --------------------------------------------------------------- read
+
+    def records(self) -> Iterator[dict[str, Any]]:
+        """The records recovered at open time, in append order."""
+        return iter(self.recovered_records)

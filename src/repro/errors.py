@@ -105,6 +105,26 @@ class SimTestError(ReproError):
     task, a malformed fault spec, or activation while disabled)."""
 
 
+class DurabilityError(ReproError):
+    """The durability subsystem (journal, checkpoints, recovery) failed."""
+
+
+class JournalCorruptionError(DurabilityError):
+    """A journal frame failed its CRC or framing check where corruption is
+    not recoverable by truncation (e.g. an explicit integrity probe)."""
+
+
+class MasterCrashError(BaseException):
+    """A simulated master crash (simtest fault ``crash@N:master``).
+
+    Derives from :class:`BaseException` — like ``KeyboardInterrupt`` — so
+    that the engine's ``except Exception``/``except ReproError`` handlers
+    cannot convert a crash into an ordinary failed result.  A crash must
+    leave the job with no terminal journal record; recovery then re-enqueues
+    it on restart.
+    """
+
+
 def is_transient(error: BaseException) -> bool:
     """Whether retrying the failed operation could plausibly succeed.
 

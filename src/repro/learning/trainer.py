@@ -8,6 +8,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.core.context import DataView, ExecutionContext
+from repro.durability.checkpoint import ExperimentCheckpoint
 from repro.errors import AlgorithmError, PrivacyError
 from repro.federation.controller import Federation
 from repro.federation.messages import new_job_id
@@ -21,6 +22,15 @@ from repro.udfgen import literal, relation, secure_transfer, transfer, udf
 from repro.udfgen import udf_helpers as _h  # noqa: F401  (UDF bodies use _h)
 
 logger = get_logger("learning.trainer")
+
+
+def _config_fingerprint(config: "TrainingConfig") -> str:
+    """Content hash of a training config (the checkpoint-compatibility key)."""
+    from dataclasses import asdict
+
+    from repro.core.plan import canonical_fingerprint
+
+    return canonical_fingerprint(asdict(config))
 
 
 @udf(params_in=literal(), return_type=[transfer()])
@@ -225,7 +235,27 @@ class FederatedTrainer:
     def __init__(self, federation: Federation) -> None:
         self.federation = federation
 
-    def train(self, config: TrainingConfig) -> TrainingResult:
+    def train(
+        self,
+        config: TrainingConfig,
+        checkpoints=None,
+        checkpoint_id: str | None = None,
+        stop_after_round: int | None = None,
+    ) -> TrainingResult:
+        """Run (or resume) one training cycle.
+
+        With ``checkpoints`` (a
+        :class:`~repro.durability.checkpoint.CheckpointStore`) the trainer
+        persists round-granular state — completed-round counter, weights,
+        history, recorded privacy spend — after every round, keyed by
+        ``checkpoint_id`` and fingerprinted over the config so a checkpoint
+        from a different run is never resumed.  A matching checkpoint fast-
+        forwards the loop to its round; the noise-free modes (``none``,
+        ``newton``) make the resumed trajectory byte-identical to an
+        uninterrupted one.  ``stop_after_round`` returns early after that
+        many completed rounds (the crash-injection hook for recovery tests);
+        the checkpoint is deleted only when all rounds complete.
+        """
         master = self.federation.master
         master.refresh_catalog()
         availability = master.availability.get(config.data_model, {})
@@ -269,6 +299,29 @@ class FederatedTrainer:
         view = DataView.of(variables)
         weights = np.zeros(n_features)
         history: list[dict[str, float]] = []
+        start_round = 0
+        fingerprint = _config_fingerprint(config)
+        if checkpoints is not None and checkpoint_id is None:
+            checkpoint_id = f"train_{fingerprint[:16]}"
+        if checkpoints is not None:
+            saved = checkpoints.load(checkpoint_id)
+            if saved is not None and saved.fingerprint == fingerprint:
+                state = saved.state
+                start_round = int(state["round"])
+                weights = np.asarray(state["weights"], dtype=np.float64)
+                history = [dict(entry) for entry in state["history"]]
+                # Re-record the completed rounds' spend so budget
+                # enforcement (and the audit trail of this process) covers
+                # the whole logical run, not just the resumed tail.
+                if config.mode in ("dp", "sa"):
+                    for _ in range(start_round):
+                        accountant.record(per_round_epsilon, per_round_delta)
+                logger.info(
+                    "training_resumed",
+                    checkpoint_id=checkpoint_id,
+                    round=start_round,
+                    rounds=config.rounds,
+                )
         scaler = None
         if config.standardize:
             moments_handle = eval_context.local_run(
@@ -293,7 +346,7 @@ class FederatedTrainer:
             "scaler": scaler,
             "model_kind": config.model_kind,
         }
-        for round_index in range(config.rounds):
+        for round_index in range(start_round, config.rounds):
             params_transfer = update_context.global_run(
                 publish_params, {"params_in": weights.tolist()}, [True]
             )
@@ -361,6 +414,38 @@ class FederatedTrainer:
                 }
                 history.append(entry)
                 logger.info("training_round", mode=config.mode, **entry)
+            if checkpoints is not None:
+                checkpoints.save(
+                    ExperimentCheckpoint(
+                        job_id=checkpoint_id,
+                        fingerprint=fingerprint,
+                        reads=[],
+                        state={
+                            "round": round_index + 1,
+                            "weights": weights.tolist(),
+                            "history": history,
+                        },
+                    )
+                )
+            if stop_after_round is not None and round_index + 1 >= stop_after_round:
+                update_context.cleanup()
+                eval_context.cleanup()
+                spent = accountant.spent()
+                logger.info(
+                    "training_stopped",
+                    rounds_completed=round_index + 1,
+                    rounds=config.rounds,
+                )
+                return TrainingResult(
+                    weights=weights,
+                    design_names=design_names,
+                    history=history,
+                    epsilon_spent=spent.epsilon,
+                    delta_spent=spent.delta,
+                    mode=config.mode,
+                )
+        if checkpoints is not None:
+            checkpoints.delete(checkpoint_id)
         update_context.cleanup()
         eval_context.cleanup()
         spent = accountant.spent()

@@ -29,6 +29,15 @@ seed always strikes the same logical instant:
       cancel the experiment aliased ``job2`` when the step counter reaches
       5; ``cancel@0:job2`` cancels before dispatch (right after submit).
 
+  ``crash@5:master``
+      the *master process* dies when the flow-step counter reaches 5 —
+      every in-flight experiment unwinds with
+      :class:`~repro.errors.MasterCrashError`, nothing further is
+      journaled, and the harness restarts the service from its
+      ``state_dir`` to exercise recovery.  A ``crash`` fault whose target
+      is ``master`` is the one crash keyed to the step counter (worker
+      crashes stay on the delivery counter).
+
 Faults are comma-joined into a spec string (``drop@3,crash@9:hospital_b``)
 that round-trips through :meth:`FaultPlan.parse` / :meth:`FaultPlan.spec`,
 so a failing fuzz case prints as one flag value.
@@ -46,6 +55,8 @@ from repro.errors import SimTestError
 DELIVERY_KINDS = ("drop", "delay", "crash", "revive", "reorder")
 #: Fault kinds keyed to the flow-step counter.
 STEP_KINDS = ("cancel",)
+#: The special ``crash`` target that kills the master instead of a worker.
+MASTER_TARGET = "master"
 
 _FAULT_RE = re.compile(
     r"^(?P<kind>[a-z]+)@(?P<at>\d+)(?::(?P<target>[A-Za-z0-9_.-]+))?"
@@ -69,6 +80,10 @@ class Fault:
             raise SimTestError(f"fault {self.kind!r} needs a counter >= 0")
         if self.kind in ("crash", "revive", "cancel") and not self.target:
             raise SimTestError(f"fault {self.kind!r} needs a target (kind@N:target)")
+        if self.is_master_crash and self.at < 1:
+            raise SimTestError(
+                "crash@N:master fires on the flow-step counter and needs N >= 1"
+            )
         if self.kind == "delay" and self.amount <= 0:
             raise SimTestError("delay faults need an amount (delay@N=seconds)")
 
@@ -79,6 +94,10 @@ class Fault:
         if self.kind == "delay":
             text += f"={self.amount:g}"
         return text
+
+    @property
+    def is_master_crash(self) -> bool:
+        return self.kind == "crash" and self.target == MASTER_TARGET
 
 
 @dataclass(frozen=True)
@@ -131,7 +150,14 @@ class FaultPlan:
         return FaultPlan(self.faults[:index] + self.faults[index + 1 :])
 
     def delivery_faults(self) -> list[Fault]:
-        return [f for f in self.faults if f.kind in DELIVERY_KINDS]
+        return [
+            f
+            for f in self.faults
+            if f.kind in DELIVERY_KINDS and not f.is_master_crash
+        ]
 
     def step_faults(self) -> list[Fault]:
-        return [f for f in self.faults if f.kind in STEP_KINDS]
+        return [f for f in self.faults if f.kind in STEP_KINDS or f.is_master_crash]
+
+    def master_crashes(self) -> list[Fault]:
+        return [f for f in self.faults if f.is_master_crash]

@@ -80,13 +80,23 @@ def run_one(spec: SimSpec) -> RunOutcome:
         return RunOutcome(spec, error=error)
 
 
-def sample_spec(rng: random.Random) -> SimSpec:
-    """Draw one scenario (seed, parallelism, jobs, fault plan)."""
+def sample_spec(rng: random.Random, master_crash: bool = False) -> SimSpec:
+    """Draw one scenario (seed, parallelism, jobs, fault plan).
+
+    With ``master_crash`` the kind pool additionally contains ``mcrash``
+    (a ``crash@N:master`` step fault), so the durability CI lane fuzzes
+    kill-and-restart recovery alongside the ordinary fault kinds.
+    """
     jobs = rng.randint(1, MAX_JOBS)
+    kinds = ("drop", "drop", "delay", "crash", "cancel", "reorder")
+    if master_crash:
+        kinds += ("mcrash", "mcrash")
     faults = []
     for _ in range(rng.randint(0, MAX_FAULTS)):
-        kind = rng.choice(("drop", "drop", "delay", "crash", "cancel", "reorder"))
-        if kind == "drop":
+        kind = rng.choice(kinds)
+        if kind == "mcrash":
+            faults.append(Fault("crash", rng.randint(1, MAX_STEP_AT), "master"))
+        elif kind == "drop":
             target = rng.choice((None,) + SIM_WORKERS)
             faults.append(Fault("drop", rng.randint(1, MAX_DELIVERY_AT), target))
         elif kind == "delay":
@@ -164,11 +174,13 @@ def fuzz(
     seed: int = 0,
     budget_seconds: float | None = None,
     emit: Callable[[str], None] | None = None,
+    master_crash: bool = False,
 ) -> FuzzResult:
     """Sample and run up to ``runs`` scenarios; shrink the first failure.
 
     ``budget_seconds`` additionally caps the session by wall time (the CI
     lane's randomized budget).  ``emit`` receives one progress line per run.
+    ``master_crash`` admits ``crash@N:master`` faults into the sample pool.
     """
     rng = random.Random(f"simtest-fuzz-{seed}")
     started = time.monotonic()
@@ -176,7 +188,7 @@ def fuzz(
     for index in range(runs):
         if budget_seconds is not None and time.monotonic() - started >= budget_seconds:
             break
-        spec = sample_spec(rng)
+        spec = sample_spec(rng, master_crash=master_crash)
         outcome = run_one(spec)
         result.runs += 1
         result.specs.append(spec)

@@ -71,10 +71,26 @@ ARCHETYPES: tuple[ExperimentRequest, ...] = (
         parameters={"mu": 50.0},
         name="sim-ttest",
     ),
+    # Appended last so the round-robin of existing <=4-job corpus specs is
+    # unchanged; crash-recovery scenarios select it with ``algo=``.
+    ExperimentRequest(
+        algorithm="logistic_regression",
+        data_model="dementia",
+        datasets=SIM_DATASETS,
+        y=("converted_ad",),
+        x=("p_tau",),
+        # A fixed iteration budget below the convergence point: secure
+        # fixed-point noise shifts *when* Newton converges (5 vs 6 rounds),
+        # which would trip the exact `iterations` comparison against the
+        # plain oracle; with a hard cap both paths run identical rounds.
+        parameters={"max_iterations": 4, "tolerance": 0.0},
+        name="sim-logistic",
+    ),
 )
 
 _SPEC_RE = re.compile(
-    r"^seed=(?P<seed>\d+);par=(?P<par>\d+);jobs=(?P<jobs>\d+);faults=(?P<faults>.*)$"
+    r"^seed=(?P<seed>\d+);par=(?P<par>\d+);jobs=(?P<jobs>\d+);faults=(?P<faults>.*?)"
+    r"(?:;algo=(?P<algo>[a-z0-9_]+))?$"
 )
 
 _worker_data_cache: dict[int, dict[str, dict[str, Any]]] = {}
@@ -83,12 +99,19 @@ _oracle_cache: dict[tuple, dict[str, Any] | None] = {}
 
 @dataclass(frozen=True)
 class SimSpec:
-    """One (seed, parallelism, jobs, fault plan) scenario."""
+    """One (seed, parallelism, jobs, fault plan) scenario.
+
+    ``algo`` optionally pins every job to the archetype of one algorithm
+    (``;algo=logistic_regression``) instead of the round-robin; it is
+    emitted only when set, so pre-existing spec strings round-trip
+    byte-identically.
+    """
 
     seed: int
     parallelism: int = 1
     jobs: int = 1
     faults: FaultPlan = field(default_factory=FaultPlan)
+    algo: str | None = None
 
     @classmethod
     def parse(cls, text: str) -> "SimSpec":
@@ -96,20 +119,24 @@ class SimSpec:
         if match is None:
             raise SimTestError(
                 f"malformed sim spec {text!r} "
-                "(expected seed=S;par=P;jobs=N;faults=...)"
+                "(expected seed=S;par=P;jobs=N;faults=...[;algo=NAME])"
             )
         return cls(
             seed=int(match.group("seed")),
             parallelism=int(match.group("par")),
             jobs=int(match.group("jobs")),
             faults=FaultPlan.parse(match.group("faults")),
+            algo=match.group("algo"),
         )
 
     def spec(self) -> str:
-        return (
+        text = (
             f"seed={self.seed};par={self.parallelism};jobs={self.jobs};"
             f"faults={self.faults.spec()}"
         )
+        if self.algo is not None:
+            text += f";algo={self.algo}"
+        return text
 
     def replace(self, **changes: Any) -> "SimSpec":
         from dataclasses import replace
@@ -159,7 +186,12 @@ def sim_worker_data(rows: int = SIM_ROWS) -> dict[str, dict[str, Any]]:
     return _worker_data_cache[rows]
 
 
-def sim_requests(n: int) -> list[ExperimentRequest]:
+def sim_requests(n: int, algo: str | None = None) -> list[ExperimentRequest]:
+    if algo is not None:
+        for archetype in ARCHETYPES:
+            if archetype.algorithm == algo:
+                return [archetype] * n
+        raise SimTestError(f"no sim archetype for algorithm {algo!r}")
     return [ARCHETYPES[index % len(ARCHETYPES)] for index in range(n)]
 
 
@@ -176,7 +208,16 @@ def _build_federation(spec: SimSpec):
 
 
 def run_simulation(spec: SimSpec) -> SimReport:
-    """Execute one scenario end to end and check every invariant."""
+    """Execute one scenario end to end and check every invariant.
+
+    Plans containing a ``crash@N:master`` fault cannot run as one linear
+    life; they dispatch to the two-life kill-and-restart protocol in
+    :mod:`repro.simtest.restart` (imported lazily — it needs this module).
+    """
+    if spec.faults.master_crashes():
+        from repro.simtest.restart import run_crash_simulation
+
+        return run_crash_simulation(spec)
     runtime = SimRuntime(
         seed=spec.seed, parallelism=spec.parallelism, faults=spec.faults
     )
@@ -192,7 +233,7 @@ def run_simulation(spec: SimSpec) -> SimReport:
         )
         privacy_baseline = privacy_counter_snapshot()
         job_ids = []
-        for index, request in enumerate(sim_requests(spec.jobs)):
+        for index, request in enumerate(sim_requests(spec.jobs, algo=spec.algo)):
             job_id = f"sim_job_{index + 1}"
             runtime.alias(f"job{index + 1}", job_id)
             engine.submit(request, experiment_id=job_id)

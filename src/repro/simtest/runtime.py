@@ -29,7 +29,7 @@ from __future__ import annotations
 import contextlib
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
-from repro.errors import ExperimentNotFoundError, SimTestError
+from repro.errors import ExperimentNotFoundError, MasterCrashError, SimTestError
 from repro.simtest import hooks
 from repro.simtest.faults import FaultPlan
 from repro.simtest.scheduler import DEFAULT_STEP_TIMEOUT, SimScheduler
@@ -67,6 +67,11 @@ class SimRuntime:
         self.revived_workers: set[str] = set()
         #: Short names used in fault specs (``job1``) -> real experiment ids.
         self.job_aliases: dict[str, str] = {}
+        #: Set once a ``crash@N:master`` fault fires.  From then on every
+        #: simulation hook raises :class:`~repro.errors.MasterCrashError`,
+        #: unwinding all in-flight tasks — the process is "dead", and the
+        #: harness restarts the service from its state directory.
+        self.master_crashed = False
         self._fired = [False] * len(self.faults.faults)
         self._queue: "ExperimentQueue | None" = None
         self._job_tasks: list[Any] = []
@@ -94,12 +99,13 @@ class SimRuntime:
         Crash/revive faults flip the target's reachability on the transport
         *before* this delivery, so its own down-check sees the new state.
         """
+        self._check_master_alive()
         self.deliveries += 1
         count = self.deliveries
         forced_drop = False
         extra = 0.0
         for index, fault in enumerate(self.faults.faults):
-            if self._fired[index] or fault.at > count:
+            if self._fired[index] or fault.at > count or fault.is_master_crash:
                 continue
             if fault.kind == "drop":
                 if fault.target is not None and fault.target != receiver:
@@ -142,6 +148,7 @@ class SimRuntime:
         results: list[Any] = [None] * n
         for index in order:
             self.scheduler.checkpoint(f"fanout[{index}]")
+            self._check_master_alive()
             results[index] = attempt(index)
         return results
 
@@ -163,7 +170,9 @@ class SimRuntime:
     # ------------------------------------------------------------ flow hooks
 
     def flow_step(self, label: str) -> None:
-        """A step boundary: count, apply cancel faults, yield."""
+        """A step boundary: count, apply step faults (cancel, master crash),
+        yield."""
+        self._check_master_alive()
         self.flow_steps += 1
         count = self.flow_steps
         for index, fault in enumerate(self.faults.faults):
@@ -176,7 +185,22 @@ class SimRuntime:
                 continue
             self._fired[index] = True
             self._cancel(fault.target, f"fault {fault.spec()} fired step={count}")
+        for index, fault in enumerate(self.faults.faults):
+            if (
+                self._fired[index]
+                or not fault.is_master_crash
+                or fault.at > count
+            ):
+                continue
+            self._fired[index] = True
+            self.master_crashed = True
+            self.transcript.append(f"fault {fault.spec()} fired step={count}")
+        self._check_master_alive()
         self.scheduler.checkpoint(label)
+
+    def _check_master_alive(self) -> None:
+        if self.master_crashed:
+            raise MasterCrashError("the simulated master process has crashed")
 
     def plan_node(self, label: str) -> None:
         """One flow-plan node was dispatched.
@@ -224,7 +248,7 @@ class SimRuntime:
     def maybe_dispatch(self) -> bool:
         """Claim queued jobs into scheduler tasks up to the parallelism cap."""
         queue = self._queue
-        if queue is None:
+        if queue is None or self.master_crashed:
             return False
         dispatched = False
         while self._in_flight() < self.parallelism:
@@ -245,7 +269,11 @@ class SimRuntime:
             dispatched = self.maybe_dispatch()
             stepped = self.scheduler.step_once()
             if not dispatched and not stepped:
-                if self._queue is not None and self._queue.sim_pending():
+                if (
+                    self._queue is not None
+                    and self._queue.sim_pending()
+                    and not self.master_crashed
+                ):
                     raise SimTestError("simulation stalled with queued jobs")
                 return
 
@@ -265,9 +293,15 @@ class SimRuntime:
             )
 
     def unhandled_errors(self) -> list[tuple[str, BaseException]]:
-        """Task-body exceptions that escaped the queue's error handling."""
+        """Task-body exceptions that escaped the queue's error handling.
+
+        A :class:`~repro.errors.MasterCrashError` is the *intended* unwind
+        of a simulated crash, not an escape — tasks it killed are not
+        failures.
+        """
         return [
             (name, task.error)
             for name, task in sorted(self.scheduler.tasks.items())
             if task.error is not None
+            and not isinstance(task.error, MasterCrashError)
         ]

@@ -1,0 +1,113 @@
+"""JSON round-trips for the experiment dataclasses.
+
+These forms are load-bearing: the durability journal persists requests and
+terminal results verbatim, so a restart must reconstruct an object equal in
+every field — including the audit trail, evictions, critical-path analysis
+and profiler attachments added by later observability layers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.experiment import (
+    ExperimentRequest,
+    ExperimentResult,
+    ExperimentStatus,
+    ExperimentTelemetry,
+)
+
+
+def full_result() -> ExperimentResult:
+    request = ExperimentRequest(
+        algorithm="linear_regression",
+        data_model="dementia",
+        datasets=("edsd", "adni"),
+        y=("lefthippocampus",),
+        x=("p_tau", "gender"),
+        parameters={"positive_levels": ["M"]},
+        filter_sql="age_value > 60",
+        name="serialization-probe",
+    )
+    return ExperimentResult(
+        experiment_id="exp_roundtrip",
+        request=request,
+        status=ExperimentStatus.SUCCESS,
+        result={"n_obs": 211, "coefficients": [0.5, -0.25]},
+        error=None,
+        elapsed_seconds=1.25,
+        workers=("hospital_a", "hospital_b"),
+        telemetry=ExperimentTelemetry(
+            messages=12,
+            bytes_sent=4096,
+            simulated_network_seconds=0.75,
+            smpc_rounds=3,
+            smpc_elements=42,
+        ),
+        audit=({"event": "privacy_spend", "epsilon": 0.5},),
+        evicted=("hospital_c",),
+        critical_path={"total_seconds": 1.0, "path": ["n1", "n2"]},
+        profile="flow;local 3\nflow;global 1",
+        dedup_hits=2,
+    )
+
+
+class TestResultRoundTrip:
+    def test_full_round_trip_preserves_every_field(self):
+        original = full_result()
+        # Through actual JSON text, not just dicts — what the journal stores.
+        revived = ExperimentResult.from_dict(
+            json.loads(json.dumps(original.to_dict()))
+        )
+        assert revived == original
+        assert revived.to_dict() == original.to_dict()
+
+    def test_round_trip_restores_types(self):
+        revived = ExperimentResult.from_dict(full_result().to_dict())
+        assert revived.status is ExperimentStatus.SUCCESS
+        assert isinstance(revived.workers, tuple)
+        assert isinstance(revived.evicted, tuple)
+        assert isinstance(revived.audit, tuple)
+        assert isinstance(revived.telemetry, ExperimentTelemetry)
+
+    def test_minimal_payload_uses_defaults(self):
+        payload = {
+            "experiment_id": "exp_min",
+            "request": {"algorithm": "descriptive_stats", "data_model": "dementia"},
+            "status": "error",
+        }
+        revived = ExperimentResult.from_dict(payload)
+        assert revived.status is ExperimentStatus.ERROR
+        assert revived.result == {}
+        assert revived.audit == ()
+        assert revived.evicted == ()
+        assert revived.critical_path is None
+        assert revived.profile is None
+        assert revived.dedup_hits == 0
+
+    def test_unknown_status_rejected(self):
+        payload = full_result().to_dict()
+        payload["status"] = "exploded"
+        with pytest.raises(ValueError):
+            ExperimentResult.from_dict(payload)
+
+
+class TestRequestRoundTrip:
+    def test_request_round_trip(self):
+        request = full_result().request
+        assert ExperimentRequest.from_dict(request.to_dict()) == request
+
+    def test_request_to_dict_is_json_ready(self):
+        text = json.dumps(full_result().request.to_dict(), sort_keys=True)
+        assert '"filter_sql": "age_value > 60"' in text
+
+
+class TestTelemetryRoundTrip:
+    def test_telemetry_round_trip(self):
+        telemetry = full_result().telemetry
+        assert ExperimentTelemetry.from_dict(telemetry.to_dict()) == telemetry
+
+    def test_empty_payload_is_zeroed(self):
+        assert ExperimentTelemetry.from_dict({}) == ExperimentTelemetry()

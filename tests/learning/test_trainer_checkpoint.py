@@ -1,0 +1,76 @@
+"""Round-granular training checkpoints: stop, resume, byte-identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.durability.checkpoint import CheckpointStore
+from repro.learning.trainer import FederatedTrainer, TrainingConfig
+
+
+def make_config(**overrides):
+    base = dict(
+        data_model="dementia",
+        datasets=("edsd", "adni", "ppmi"),
+        response="converted_ad",
+        covariates=("lefthippocampus", "p_tau"),
+        mode="newton",
+        rounds=5,
+        evaluate_every=1,
+        seed=3,
+    )
+    base.update(overrides)
+    return TrainingConfig(**base)
+
+
+class TestStopAndResume:
+    def test_resume_is_byte_identical_to_uninterrupted(self, fresh_federation, tmp_path):
+        trainer = FederatedTrainer(fresh_federation)
+        config = make_config()
+        baseline = trainer.train(config)
+
+        store = CheckpointStore(str(tmp_path))
+        partial = trainer.train(config, checkpoints=store, stop_after_round=2)
+        assert len(partial.history) < len(baseline.history)
+        (ckpt_id,) = store.list_ids()
+        assert store.load(ckpt_id).state["round"] == 2
+
+        resumed = trainer.train(config, checkpoints=store)
+        assert resumed.weights.tolist() == baseline.weights.tolist()
+        assert resumed.history == baseline.history
+        assert resumed.final_accuracy == baseline.final_accuracy
+
+    def test_checkpoint_deleted_on_completion(self, fresh_federation, tmp_path):
+        trainer = FederatedTrainer(fresh_federation)
+        store = CheckpointStore(str(tmp_path))
+        trainer.train(make_config(rounds=2), checkpoints=store)
+        assert store.list_ids() == []
+
+    def test_fingerprint_mismatch_restarts_from_scratch(self, fresh_federation, tmp_path):
+        trainer = FederatedTrainer(fresh_federation)
+        store = CheckpointStore(str(tmp_path))
+        trainer.train(
+            make_config(), checkpoints=store, checkpoint_id="shared", stop_after_round=2
+        )
+        # Same id, different config: the stale checkpoint must not be restored.
+        changed = make_config(learning_rate=0.9)
+        result = trainer.train(changed, checkpoints=store, checkpoint_id="shared")
+        assert len(result.history) == changed.rounds
+
+    def test_dp_resume_accounts_completed_rounds(self, fresh_federation, tmp_path):
+        trainer = FederatedTrainer(fresh_federation)
+        store = CheckpointStore(str(tmp_path))
+        config = make_config(mode="dp", epsilon=8.0, delta=1e-5, rounds=4)
+        trainer.train(config, checkpoints=store, stop_after_round=2)
+        resumed = trainer.train(config, checkpoints=store)
+        # The resumed run still spends exactly the full budget — the two
+        # completed rounds were re-recorded against the fresh accountant.
+        assert resumed.epsilon_spent == pytest.approx(8.0)
+
+    def test_training_without_store_unchanged(self, fresh_federation):
+        trainer = FederatedTrainer(fresh_federation)
+        config = make_config(rounds=3)
+        a = trainer.train(config)
+        b = trainer.train(config)
+        assert np.array_equal(a.weights, b.weights)
